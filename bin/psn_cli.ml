@@ -1,0 +1,448 @@
+(* psn: command-line interface to the PSN path-diversity library.
+
+   Subcommands: generate, info, paths, explosion, simulate, experiment,
+   model. Run `psn --help` or `psn <cmd> --help` for details. *)
+
+open Cmdliner
+
+let exit_err msg =
+  Printf.eprintf "psn: %s\n" msg;
+  exit 1
+
+(* --- shared arguments --- *)
+
+let dataset_arg =
+  let doc =
+    "Dataset preset to use. One of: "
+    ^ String.concat ", " (List.map (fun d -> d.Core.Dataset.name) Core.Dataset.all)
+    ^ "."
+  in
+  Arg.(value & opt string "infocom06-9-12" & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Override the preset's random seed." in
+  Arg.(value & opt (some int64) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trace_arg =
+  let doc = "Read the contact trace from $(docv) instead of generating a preset." in
+  Arg.(value & opt (some file) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
+
+let resolve_trace dataset_name seed trace_path =
+  match trace_path with
+  | Some path -> (
+    (* native format first, then the CRAWDAD-style whitespace format *)
+    match Core.Trace_io.load ~path with
+    | Ok trace -> (Printf.sprintf "file:%s" path, trace)
+    | Error native_err -> (
+      match Core.Trace_io.load_whitespace path with
+      | Ok trace -> (Printf.sprintf "file:%s" path, trace)
+      | Error _ -> exit_err (Printf.sprintf "cannot load %s: %s" path native_err)))
+  | None -> (
+    match Core.Dataset.find dataset_name with
+    | Error msg -> exit_err msg
+    | Ok d -> (d.Core.Dataset.label, Core.Dataset.generate ?seed d))
+
+let k_arg =
+  let doc = "Enumeration parameter k (per-node retention and stop threshold)." in
+  Arg.(value & opt int 2000 & info [ "k" ] ~docv:"K" ~doc)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let output =
+    let doc = "Output path for the trace file." in
+    Arg.(value & opt string "trace.psn" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run dataset seed output =
+    match Core.Dataset.find dataset with
+    | Error msg -> exit_err msg
+    | Ok d ->
+      let trace = Core.Dataset.generate ?seed d in
+      Core.Trace_io.save trace ~path:output;
+      Format.printf "wrote %s: %a@." output Core.Trace.pp_stats trace
+  in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ output) in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic iMote-style contact trace and save it.")
+    term
+
+(* --- info --- *)
+
+let info_cmd =
+  let run dataset seed trace_path =
+    let label, trace = resolve_trace dataset seed trace_path in
+    Format.printf "%s@.%a@." label Core.Trace.pp_stats trace;
+    let classify = Core.Classify.of_trace trace in
+    Format.printf "median contact rate: %.5f /s (%d 'in' nodes)@."
+      (Core.Classify.median_rate classify)
+      (Core.Classify.n_in classify);
+    let ts = Core.Trace.contact_time_series trace ~bin:60. in
+    Format.printf "aggregate: %.1f contacts/min, stability cv=%.3f@."
+      (Core.Timeseries.mean_rate ts *. 60.)
+      (Core.Timeseries.stability ts)
+  in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ trace_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Print summary statistics of a trace.") term
+
+(* --- paths --- *)
+
+let paths_cmd =
+  let src =
+    Arg.(required & opt (some int) None & info [ "src" ] ~docv:"NODE" ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.")
+  in
+  let time =
+    Arg.(value & opt float 0. & info [ "time" ] ~docv:"SECONDS" ~doc:"Message creation time.")
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Paths to print in full.")
+  in
+  let run dataset seed trace_path k src dst time limit =
+    let label, trace = resolve_trace dataset seed trace_path in
+    let snap = Core.Snapshot.of_trace trace in
+    let config =
+      { Core.Enumerate.k; max_hops = None; stop_at_total = Some k; exhaustive = false }
+    in
+    let result =
+      try Core.Enumerate.run ~config snap ~src ~dst ~t_create:time
+      with Invalid_argument msg -> exit_err msg
+    in
+    let summary = Core.Explosion.analyze ~n_explosion:k result in
+    Format.printf "%s: message n%d -> n%d created at %.0f s@." label src dst time;
+    (match summary.Core.Explosion.optimal_duration with
+    | None -> Format.printf "no valid path reaches the destination within the trace@."
+    | Some d ->
+      Format.printf "%d path(s) enumerated; optimal duration %.0f s@."
+        summary.Core.Explosion.n_arrivals d;
+      (match summary.Core.Explosion.te with
+      | Some te -> Format.printf "time to explosion (n*=%d): %.0f s@." k te
+      | None -> ());
+      Array.iteri
+        (fun i (a : Core.Enumerate.arrival) ->
+          if i < limit then
+            Format.printf "  #%d at %.0f s (%d hops): %a@." (i + 1) a.Core.Enumerate.time
+              (Core.Path.transfers a.Core.Enumerate.path)
+              Core.Path.pp a.Core.Enumerate.path)
+        result.Core.Enumerate.arrivals)
+  in
+  let term =
+    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ k_arg $ src $ dst $ time $ limit)
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Enumerate valid forwarding paths for one message (Fig. 3 algorithm).")
+    term
+
+(* --- explosion --- *)
+
+let explosion_cmd =
+  let messages =
+    Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
+  in
+  let run dataset seed messages k =
+    match Core.Dataset.find dataset with
+    | Error msg -> exit_err msg
+    | Ok d ->
+      let scale =
+        {
+          Core.Experiments.default_scale with
+          Core.Experiments.n_messages = messages;
+          k;
+          n_explosion = k;
+          rng_seed = Option.value seed ~default:17L;
+        }
+      in
+      let study = Core.Experiments.enumeration_study ~scale d in
+      print_endline
+        (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
+           (Core.Experiments.fig4a [ study ]));
+      print_endline
+        (Core.Report.render_cdfs ~title:"CDF of time to explosion (s)"
+           (Core.Experiments.fig4b [ study ]));
+      print_endline
+        (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
+           (Core.Experiments.fig8 study))
+  in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg) in
+  Cmd.v
+    (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
+    term
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let algorithms =
+    let doc =
+      "Comma-separated algorithm names. Available: "
+      ^ String.concat ", " (List.map (fun e -> e.Core.Registry.name) Core.Registry.all)
+      ^ ". Default: the paper's six."
+    in
+    Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
+  in
+  let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
+  let run dataset seed trace_path algorithms seeds =
+    let label, trace = resolve_trace dataset seed trace_path in
+    let entries =
+      match algorithms with
+      | None -> Core.Registry.paper_six
+      | Some spec ->
+        String.split_on_char ',' spec
+        |> List.map (fun name ->
+               match Core.Registry.find (String.trim name) with
+               | Ok e -> e
+               | Error msg -> exit_err msg)
+    in
+    let spec =
+      {
+        Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
+        seeds = Core.Runner.default_seeds seeds;
+      }
+    in
+    let rows =
+      List.map
+        (fun (e : Core.Registry.entry) ->
+          ( e.Core.Registry.label,
+            Core.Runner.run_algorithm ~trace ~spec ~factory:e.Core.Registry.factory ))
+        entries
+    in
+    print_endline
+      (Core.Report.render_metrics
+         ~title:(Printf.sprintf "Forwarding performance (%s, %d seeds)" label seeds)
+         rows)
+  in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds) in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
+    term
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let figure =
+    let doc =
+      "Experiment id: fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, \
+       fig13, fig14, fig15."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let messages =
+    Arg.(
+      value
+      & opt int Core.Experiments.default_scale.Core.Experiments.n_messages
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages for enumeration experiments.")
+  in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:"Also write the figure's data series as gnuplot-ready .dat files into $(docv).")
+  in
+  let run figure dataset seed messages dump_dir =
+    match Core.Dataset.find dataset with
+    | Error msg -> exit_err msg
+    | Ok d ->
+      let module E = Core.Experiments in
+      let module R = Core.Report in
+      let dump_cdfs name cdfs =
+        match dump_dir with
+        | None -> ()
+        | Some dir ->
+          let files = Core.Export.write_cdfs ~dir ~name cdfs in
+          ignore (Core.Export.write_gnuplot_script ~dir [ (name, `Lines, files) ]);
+          Format.printf "(wrote %d data files under %s)@." (List.length files) dir
+      in
+      let dump_scatter name points =
+        match dump_dir with
+        | None -> ()
+        | Some dir ->
+          let file = Core.Export.write_scatter ~dir ~name points in
+          ignore (Core.Export.write_gnuplot_script ~dir [ (name, `Points, [ file ]) ]);
+          Format.printf "(wrote %s)@." file
+      in
+      let scale =
+        {
+          E.default_scale with
+          E.n_messages = messages;
+          rng_seed = Option.value seed ~default:17L;
+        }
+      in
+      let study = lazy (E.enumeration_study ~scale d) in
+      let sim = lazy (E.sim_study ~scale d) in
+      let text =
+        match figure with
+        | "fig1" -> R.render_timeseries ~title:"Fig 1: contacts over time" (E.fig1 [ d ])
+        | "fig2" -> "== Fig 2: example space-time graph ==\n" ^ E.fig2 ()
+        | "fig4" ->
+          let a = E.fig4a [ Lazy.force study ] and b = E.fig4b [ Lazy.force study ] in
+          dump_cdfs "fig4a" a;
+          dump_cdfs "fig4b" b;
+          R.render_cdfs ~title:"Fig 4a: optimal path duration" a
+          ^ "\n"
+          ^ R.render_cdfs ~title:"Fig 4b: time to explosion" b
+        | "fig5" ->
+          let points = E.fig5 (Lazy.force study) in
+          dump_scatter "fig5" points;
+          R.render_scatter ~title:"Fig 5: T1 vs TE" points
+        | "fig6" -> R.render_histogram ~title:"Fig 6: arrivals after T1" (E.fig6 (Lazy.force study))
+        | "fig7" ->
+          let cdfs = E.fig7 [ d ] in
+          dump_cdfs "fig7" cdfs;
+          R.render_cdfs ~title:"Fig 7: per-node contact counts" cdfs
+        | "fig8" ->
+          R.render_scatter_by_pair ~title:"Fig 8: T1 vs TE by pair type" (E.fig8 (Lazy.force study))
+        | "fig9" -> R.render_metrics ~title:"Fig 9: delay vs success" (E.fig9 (Lazy.force sim))
+        | "fig10" ->
+          let cdfs = E.fig10 (Lazy.force sim) in
+          dump_cdfs "fig10" cdfs;
+          R.render_cdfs ~title:"Fig 10: delay distributions" cdfs
+        | "fig11" ->
+          R.render_cumulative ~title:"Fig 11: cumulative deliveries" (E.fig11 (Lazy.force study))
+        | "fig12" ->
+          R.render_fig12 ~title:"Fig 12: algorithm paths within bursts"
+            (E.fig12 (Lazy.force study) ~n_examples:2)
+        | "fig13" ->
+          R.render_metrics_by_pair ~title:"Fig 13: performance by pair type"
+            (E.fig13 (Lazy.force sim))
+        | "fig14" -> R.render_hop_rates ~title:"Fig 14: hop rates" (E.fig14 (Lazy.force study))
+        | "fig15" -> R.render_hop_ratios ~title:"Fig 15: hop rate ratios" (E.fig15 (Lazy.force study))
+        | other -> exit_err (Printf.sprintf "unknown experiment %S" other)
+      in
+      print_endline text
+  in
+  let term = Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump) in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one figure of the paper on one dataset.") term
+
+(* --- intercontact --- *)
+
+let intercontact_cmd =
+  let run dataset seed trace_path =
+    let label, trace = resolve_trace dataset seed trace_path in
+    let gaps = Core.Intercontact.aggregate_gaps trace in
+    if Array.length gaps = 0 then exit_err "no repeated pair meetings in this trace";
+    Format.printf "%s: %d inter-contact gaps@." label (Array.length gaps);
+    List.iter
+      (fun p ->
+        Format.printf "  p%-3d %10.0f s@." (int_of_float (p *. 100.))
+          (Core.Quantile.quantile gaps p))
+      [ 0.5; 0.9; 0.99 ];
+    (match Core.Intercontact.tail_exponent gaps with
+    | Some alpha -> Format.printf "  Hill tail exponent: %.2f@." alpha
+    | None -> Format.printf "  Hill tail exponent: (insufficient tail)@.");
+    Format.printf "CCDF sample points (x, P[X>x]):@.";
+    let points = Core.Intercontact.ccdf gaps in
+    let step = Stdlib.max 1 (List.length points / 10) in
+    List.iteri
+      (fun i (x, p) -> if i mod step = 0 then Format.printf "  %10.0f  %8.5f@." x p)
+      points
+  in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ trace_arg) in
+  Cmd.v
+    (Cmd.info "intercontact" ~doc:"Analyse inter-contact time distributions of a trace.")
+    term
+
+(* --- communities --- *)
+
+let communities_cmd =
+  let min_weight =
+    Arg.(
+      value & opt float 60.
+      & info [ "min-weight" ] ~docv:"SECONDS"
+          ~doc:"Ignore pairs with less than this much cumulative contact.")
+  in
+  let from_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "from" ] ~docv:"SECONDS"
+          ~doc:
+            "Restrict to contacts after this time. Communities in venue traces are \
+             time-local (people rotate rooms), so a session-sized window shows much \
+             stronger structure than the whole day.")
+  in
+  let until_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "until" ] ~docv:"SECONDS" ~doc:"Restrict to contacts before this time.")
+  in
+  let run dataset seed trace_path min_weight from_time until_time =
+    let label, trace = resolve_trace dataset seed trace_path in
+    let trace =
+      match (from_time, until_time) with
+      | None, None -> trace
+      | t0, t1 ->
+        let t0 = Option.value t0 ~default:0. in
+        let t1 = Option.value t1 ~default:(Core.Trace.horizon trace) in
+        (try Core.Trace.restrict trace ~t0 ~t1
+         with Invalid_argument msg -> exit_err msg)
+    in
+    let c = Core.Community.detect ~min_weight trace in
+    Format.printf "%s: %d communities (modularity %.3f)@." label (Core.Community.n_communities c)
+      (Core.Community.modularity c trace);
+    Array.iteri
+      (fun lbl size ->
+        if size >= 2 then begin
+          let members = Core.Community.members c lbl in
+          let shown = List.filteri (fun i _ -> i < 12) members in
+          Format.printf "  #%d (%d nodes): %s%s@." lbl size
+            (String.concat " " (List.map (Printf.sprintf "n%d") shown))
+            (if size > 12 then " ..." else "")
+        end)
+      (Core.Community.sizes c)
+  in
+  let term =
+    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ min_weight $ from_arg $ until_arg)
+  in
+  Cmd.v
+    (Cmd.info "communities" ~doc:"Detect contact communities (label propagation).")
+    term
+
+(* --- model --- *)
+
+let model_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("mean", `Mean); ("variance", `Variance); ("quadrants", `Quadrants) ])) None
+      & info [] ~docv:"TABLE" ~doc:"One of: mean, variance, quadrants.")
+  in
+  let n = Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc:"Population size.") in
+  let lambda =
+    Arg.(value & opt float 0.5 & info [ "lambda" ] ~docv:"RATE" ~doc:"Contact intensity.")
+  in
+  let runs = Arg.(value & opt int 60 & info [ "runs" ] ~docv:"N" ~doc:"Monte-Carlo runs.") in
+  let run which n lambda runs =
+    let module E = Core.Experiments in
+    let module R = Core.Report in
+    let times = [ 0.; 2.; 4.; 6.; 8. ] in
+    let text =
+      match which with
+      | `Mean ->
+        R.render_model_rows ~title:"E[S(t)]: closed form vs ODE vs Monte-Carlo"
+          (E.model_mean_table ~n ~lambda ~times ~runs ())
+      | `Variance ->
+        R.render_model_rows ~title:"E[S(t)^2]: closed form vs ODE vs Monte-Carlo"
+          (E.model_second_moment_table ~n ~lambda ~times ~runs ())
+      | `Quadrants -> R.render_quadrants ~title:"Two-class quadrants" (E.model_quadrant_table ())
+    in
+    print_endline text
+  in
+  let term = Term.(const run $ which $ n $ lambda $ runs) in
+  Cmd.v (Cmd.info "model" ~doc:"Evaluate the analytic models of Section 5.") term
+
+let main_cmd =
+  let doc = "Path diversity in pocket switched networks: reproduction toolkit." in
+  let info = Cmd.info "psn" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      generate_cmd;
+      info_cmd;
+      paths_cmd;
+      explosion_cmd;
+      simulate_cmd;
+      experiment_cmd;
+      intercontact_cmd;
+      communities_cmd;
+      model_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

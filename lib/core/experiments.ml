@@ -1,0 +1,366 @@
+module Trace = Psn_trace.Trace
+module Contact = Psn_trace.Contact
+module Dataset = Psn_trace.Dataset
+module Snapshot = Psn_spacetime.Snapshot
+module Enumerate = Psn_paths.Enumerate
+module Explosion = Psn_paths.Explosion
+module Path = Psn_paths.Path
+module Rng = Psn_prng.Rng
+module Cdf = Psn_stats.Cdf
+module Registry = Psn_forwarding.Registry
+module Engine = Psn_sim.Engine
+module Metrics = Psn_sim.Metrics
+module Message = Psn_sim.Message
+module Workload = Psn_sim.Workload
+
+type scale = {
+  n_messages : int;
+  k : int;
+  n_explosion : int;
+  seeds : int;
+  hop_paths_per_message : int;
+  rng_seed : int64;
+}
+
+let default_scale =
+  { n_messages = 120; k = 2000; n_explosion = 2000; seeds = 3; hop_paths_per_message = 200; rng_seed = 17L }
+
+let paper_scale =
+  { n_messages = 1800; k = 2000; n_explosion = 2000; seeds = 10; hop_paths_per_message = 500; rng_seed = 17L }
+
+type message_result = {
+  src : Psn_trace.Node.id;
+  dst : Psn_trace.Node.id;
+  t_create : float;
+  pair : Classify.pair_type;
+  summary : Explosion.summary;
+  arrival_times : float array;
+  sample_paths : Path.t list;
+}
+
+type study = {
+  dataset : Dataset.t;
+  trace : Trace.t;
+  classify : Classify.t;
+  scale : scale;
+  messages : message_result list;
+}
+
+(* Messages are generated over the first two thirds of the window (the
+   paper's "first 2 hours of 3") so each has time to be delivered. *)
+let generation_window trace = Trace.horizon trace *. 2. /. 3.
+
+let random_message rng trace =
+  let n = Trace.n_nodes trace in
+  let src = Rng.int rng n in
+  let dst =
+    let r = Rng.int rng (n - 1) in
+    if r >= src then r + 1 else r
+  in
+  (src, dst, Rng.float rng (generation_window trace))
+
+let enumeration_study ?(scale = default_scale) dataset =
+  let trace = Dataset.generate dataset in
+  let classify = Classify.of_trace trace in
+  let snap = Snapshot.of_trace trace in
+  let rng = Rng.create ~seed:(Int64.logxor scale.rng_seed dataset.Dataset.seed) () in
+  let config =
+    { Enumerate.k = scale.k; max_hops = None; stop_at_total = Some scale.n_explosion; exhaustive = false }
+  in
+  let messages =
+    List.init scale.n_messages (fun _ ->
+        let src, dst, t_create = random_message rng trace in
+        let result = Enumerate.run ~config snap ~src ~dst ~t_create in
+        let sample_paths =
+          Array.to_list result.Enumerate.arrivals
+          |> List.filteri (fun i _ -> i < scale.hop_paths_per_message)
+          |> List.map (fun (a : Enumerate.arrival) -> a.Enumerate.path)
+        in
+        {
+          src;
+          dst;
+          t_create;
+          pair = Classify.pair_type classify ~src ~dst;
+          summary = Explosion.analyze ~n_explosion:scale.n_explosion result;
+          arrival_times = Enumerate.arrival_times result;
+          sample_paths;
+        })
+  in
+  { dataset; trace; classify; scale; messages }
+
+(* ---- Figures 1-8, 11, 14, 15 ---- *)
+
+let fig1 ?(bin = 60.) datasets =
+  List.map
+    (fun d -> (d.Dataset.label, Trace.contact_time_series (Dataset.generate d) ~bin))
+    datasets
+
+let fig2 () =
+  (* The paper's worked example: nodes 1-2 in contact during the first
+     step; all three pairwise in contact during the second. *)
+  let contacts =
+    [
+      Contact.make ~a:0 ~b:1 ~t_start:0. ~t_end:9.;
+      Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:19.;
+      Contact.make ~a:1 ~b:2 ~t_start:10. ~t_end:19.;
+      Contact.make ~a:0 ~b:2 ~t_start:10. ~t_end:19.;
+    ]
+  in
+  let trace = Trace.create ~n_nodes:3 ~horizon:20. contacts in
+  let graph = Psn_spacetime.Graph.of_trace ~delta:10. trace in
+  Format.asprintf "%a" Psn_spacetime.Graph.pp graph
+
+let durations study =
+  List.filter_map (fun m -> m.summary.Explosion.optimal_duration) study.messages
+
+let explosion_times study = List.filter_map (fun m -> m.summary.Explosion.te) study.messages
+
+let label_of study = study.dataset.Dataset.label
+
+let cdf_of_list values =
+  match values with [] -> None | vs -> Some (Cdf.of_samples (Array.of_list vs))
+
+let fig4a studies =
+  List.filter_map
+    (fun s -> Option.map (fun c -> (label_of s, c)) (cdf_of_list (durations s)))
+    studies
+
+let fig4b studies =
+  List.filter_map
+    (fun s -> Option.map (fun c -> (label_of s, c)) (cdf_of_list (explosion_times s)))
+    studies
+
+let fig5 study =
+  List.filter_map
+    (fun m ->
+      match (m.summary.Explosion.optimal_duration, m.summary.Explosion.te) with
+      | Some d, Some te -> Some (d, te)
+      | _, _ -> None)
+    study.messages
+
+let fig6 ?(te_min = 150.) ?(bin = 10.) ?(window = 300.) study =
+  let offsets =
+    study.messages
+    |> List.filter (fun m ->
+           match m.summary.Explosion.te with Some te -> te >= te_min | None -> false)
+    |> List.concat_map (fun m ->
+           match Array.length m.arrival_times with
+           | 0 -> []
+           | _ ->
+             let t1 = m.arrival_times.(0) in
+             Array.to_list m.arrival_times |> List.map (fun t -> t -. t1))
+  in
+  Psn_stats.Histogram.create ~lo:0. ~hi:window ~bins:(int_of_float (window /. bin))
+    (List.to_seq offsets)
+
+let fig7 datasets =
+  List.map
+    (fun d ->
+      let trace = Dataset.generate d in
+      let counts = Trace.contact_counts trace |> Array.map float_of_int in
+      (d.Dataset.label, Cdf.of_samples counts))
+    datasets
+
+let fig8 study =
+  let points = Hashtbl.create 4 in
+  List.iter
+    (fun m ->
+      match (m.summary.Explosion.optimal_duration, m.summary.Explosion.te) with
+      | Some d, Some te ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt points m.pair) in
+        Hashtbl.replace points m.pair ((d, te) :: existing)
+      | _, _ -> ())
+    study.messages;
+  List.map
+    (fun pair -> (pair, List.rev (Option.value ~default:[] (Hashtbl.find_opt points pair))))
+    Classify.all_pair_types
+
+let fig11 study =
+  let all_times =
+    List.concat_map (fun m -> Array.to_list m.arrival_times) study.messages
+    |> List.sort Float.compare
+  in
+  let series =
+    Psn_stats.Timeseries.bin_events ~t0:0. ~t1:(Trace.horizon study.trace) ~bin:60.
+      (List.to_seq all_times)
+  in
+  Psn_stats.Timeseries.cumulative series
+
+let pooled_paths study = List.concat_map (fun m -> m.sample_paths) study.messages
+
+let fig14 study = Hops.mean_rates_by_hop study.classify (pooled_paths study)
+
+let fig15 study = Hops.rate_ratios_by_hop study.classify (pooled_paths study)
+
+(* ---- Simulation studies (Figs. 9, 10, 12, 13) ---- *)
+
+type sim_study = {
+  sim_dataset : Dataset.t;
+  sim_trace : Trace.t;
+  sim_classify : Classify.t;
+  runs : (Registry.entry * Engine.outcome list) list;
+}
+
+let sim_study ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
+  let trace = Dataset.generate dataset in
+  let spec =
+    {
+      Psn_sim.Runner.workload = Workload.paper_spec ~n_nodes:(Trace.n_nodes trace);
+      seeds = Psn_sim.Runner.default_seeds scale.seeds;
+    }
+  in
+  let runs =
+    List.map
+      (fun (e : Registry.entry) ->
+        (e, Psn_sim.Runner.outcomes ~trace ~spec ~factory:e.Registry.factory))
+      entries
+  in
+  { sim_dataset = dataset; sim_trace = trace; sim_classify = Classify.of_trace trace; runs }
+
+let fig9 study =
+  List.map
+    (fun ((e : Registry.entry), outcomes) ->
+      (e.Registry.label, Metrics.average (List.map Metrics.of_outcome outcomes)))
+    study.runs
+
+let fig10 study =
+  List.filter_map
+    (fun ((e : Registry.entry), outcomes) ->
+      let delays = List.concat_map (fun o -> Array.to_list (Metrics.delays o)) outcomes in
+      Option.map (fun c -> (e.Registry.label, c)) (cdf_of_list delays))
+    study.runs
+
+(* Pool records from all seeds into one outcome so grouped metrics see
+   the full sample. *)
+let pooled_outcome (e : Registry.entry) outcomes =
+  let records = List.concat_map (fun o -> Array.to_list o.Engine.records) outcomes in
+  { Engine.algorithm = e.Registry.label; records = Array.of_list records; copies = 0 }
+
+let fig13 study =
+  let grouped_by_algorithm =
+    List.map
+      (fun (e, outcomes) ->
+        let outcome = pooled_outcome e outcomes in
+        let groups =
+          Metrics.grouped outcome ~classify:(fun (m : Message.t) ->
+              Classify.pair_type study.sim_classify ~src:m.Message.src ~dst:m.Message.dst)
+        in
+        (e, groups))
+      study.runs
+  in
+  List.map
+    (fun pair ->
+      let row =
+        List.map
+          (fun ((e : Registry.entry), groups) ->
+            let metrics =
+              match List.find_opt (fun (p, _) -> Classify.equal_pair_type p pair) groups with
+              | Some (_, m) -> m
+              | None ->
+                {
+                  Metrics.algorithm = e.Registry.label;
+                  messages = 0;
+                  delivered = 0;
+                  success_rate = 0.;
+                  mean_delay = Float.nan;
+                  median_delay = Float.nan;
+                  copies = 0;
+                }
+            in
+            (e.Registry.label, metrics))
+          grouped_by_algorithm
+      in
+      (pair, row))
+    Classify.all_pair_types
+
+type fig12_example = {
+  ex_src : Psn_trace.Node.id;
+  ex_dst : Psn_trace.Node.id;
+  ex_t_create : float;
+  ex_t1 : float;
+  arrival_offsets : float list;
+  algorithm_offsets : (string * float option) list;
+}
+
+let fig12 ?(entries = Registry.paper_six) study ~n_examples =
+  (* Interesting examples: delivered, with a spread-out explosion. *)
+  let candidates =
+    study.messages
+    |> List.filter (fun m ->
+           m.summary.Explosion.delivered
+           && Array.length m.arrival_times >= 100
+           &&
+           match m.summary.Explosion.te with Some te -> te >= 20. | None -> false)
+  in
+  let chosen = List.filteri (fun i _ -> i < n_examples) candidates in
+  List.map
+    (fun m ->
+      let t1 = m.arrival_times.(0) in
+      let message = Message.make ~id:0 ~src:m.src ~dst:m.dst ~t_create:m.t_create in
+      let algorithm_offsets =
+        List.map
+          (fun (e : Registry.entry) ->
+            let outcome =
+              Engine.run ~trace:study.trace ~messages:[ message ]
+                (e.Registry.factory study.trace)
+            in
+            let delivered = outcome.Engine.records.(0).Engine.delivered in
+            (e.Registry.label, Option.map (fun t -> t -. t1) delivered))
+          entries
+      in
+      {
+        ex_src = m.src;
+        ex_dst = m.dst;
+        ex_t_create = m.t_create;
+        ex_t1 = t1;
+        arrival_offsets = Array.to_list m.arrival_times |> List.map (fun t -> t -. t1);
+        algorithm_offsets;
+      })
+    chosen
+
+(* ---- Analytic-model tables ---- *)
+
+type model_row = { m_time : float; m_closed : float; m_ode : float; m_mc : float }
+
+let model_table ~n ~lambda ~times ~runs ~k_max ~seed ~closed ~of_density ~of_sample =
+  let p = { Psn_model.Homogeneous.n; lambda } in
+  let rng = Rng.create ~seed () in
+  let samples =
+    Psn_model.Montecarlo.average_runs p ~rng ~runs ~sample_times:times
+  in
+  List.map2
+    (fun t sample ->
+      let density = Psn_model.Homogeneous.density_at p ~k_max ~t () in
+      { m_time = t; m_closed = closed p t; m_ode = of_density density; m_mc = of_sample sample })
+    (List.sort Float.compare times)
+    samples
+
+let model_mean_table ~n ~lambda ~times ~runs ?(k_max = 400) ?(seed = 5L) () =
+  model_table ~n ~lambda ~times ~runs ~k_max ~seed
+    ~closed:(fun p t -> Psn_model.Homogeneous.mean_paths p ~t)
+    ~of_density:Psn_model.Homogeneous.mean_of_density
+    ~of_sample:(fun s -> s.Psn_model.Montecarlo.mean)
+
+let second_moment_of_density u =
+  let acc = ref 0. in
+  Array.iteri (fun k uk -> acc := !acc +. (float_of_int (k * k) *. uk)) u;
+  !acc
+
+let model_second_moment_table ~n ~lambda ~times ~runs ?(k_max = 400) ?(seed = 5L) () =
+  model_table ~n ~lambda ~times ~runs ~k_max ~seed
+    ~closed:(fun p t -> Psn_model.Homogeneous.second_moment p ~t)
+    ~of_density:second_moment_of_density
+    ~of_sample:(fun s -> s.Psn_model.Montecarlo.second_moment)
+
+let model_blowup_table ~n ~lambda ~xs =
+  let p = { Psn_model.Homogeneous.n; lambda } in
+  List.map (fun x -> (x, Psn_model.Homogeneous.blowup_time p ~x)) xs
+
+let default_classes =
+  { Psn_model.Inhomogeneous.n = 98; frac_high = 0.5; rate_high = 0.03; rate_low = 0.005 }
+
+let model_quadrant_table ?(classes = default_classes) ?(messages = 60) ?(n_explosion = 2000)
+    ?(t_end = 10800.) ?(seed = 11L) () =
+  let rng = Rng.create ~seed () in
+  Psn_model.Inhomogeneous.simulate classes ~rng ~messages_per_quadrant:messages ~n_explosion
+    ~t_end

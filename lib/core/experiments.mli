@@ -1,0 +1,176 @@
+(** Drivers reproducing every figure of the paper's evaluation.
+
+    Each function returns plain data (CDFs, histograms, metric rows)
+    that {!Report} renders and the bench harness prints. Heavy inputs
+    are shared through two study values: an {e enumeration study} (one
+    path enumeration per sampled message — Figs. 4, 5, 6, 8, 11, 12,
+    14, 15) and a {e simulation study} (multi-seed forwarding runs —
+    Figs. 9, 10, 12, 13).
+
+    The [scale] record trades fidelity for runtime: [default_scale]
+    keeps every figure's shape while finishing in minutes;
+    [paper_scale] matches the paper's parameters (1800 messages per
+    run, k = 2000, 10 seeds). *)
+
+type scale = {
+  n_messages : int;  (** Messages sampled per enumeration study. *)
+  k : int;  (** Enumeration k (per-node retention and one-step stop). *)
+  n_explosion : int;  (** Paths defining "explosion" (paper: 2000). *)
+  seeds : int;  (** Simulation runs to average (paper: 10). *)
+  hop_paths_per_message : int;
+      (** Near-optimal paths kept per message for Figs. 14-15. *)
+  rng_seed : int64;  (** Base seed for message sampling. *)
+}
+
+val default_scale : scale
+(** 120 messages, k = 2000, 3 seeds, 200 hop paths. *)
+
+val paper_scale : scale
+(** 1800 messages, k = 2000, 10 seeds, 500 hop paths. *)
+
+(** {1 Enumeration studies} *)
+
+type message_result = {
+  src : Psn_trace.Node.id;
+  dst : Psn_trace.Node.id;
+  t_create : float;
+  pair : Classify.pair_type;
+  summary : Psn_paths.Explosion.summary;
+  arrival_times : float array;  (** Absolute delivery times, ascending. *)
+  sample_paths : Psn_paths.Path.t list;  (** First few delivered paths. *)
+}
+
+type study = {
+  dataset : Psn_trace.Dataset.t;
+  trace : Psn_trace.Trace.t;
+  classify : Classify.t;
+  scale : scale;
+  messages : message_result list;
+}
+
+val enumeration_study : ?scale:scale -> Psn_trace.Dataset.t -> study
+(** Enumerate paths for [scale.n_messages] random messages over the
+    dataset's trace. The expensive call — share the result across
+    figure functions. *)
+
+(** {1 Figures 1-8, 11, 14, 15 (measurement side)} *)
+
+val fig1 : ?bin:float -> Psn_trace.Dataset.t list -> (string * Psn_stats.Timeseries.t) list
+(** Total contacts per time bin (default 60 s) for each dataset. *)
+
+val fig2 : unit -> string
+(** The paper's three-node example space-time graph, rendered. *)
+
+val fig4a : study list -> (string * Psn_stats.Cdf.t) list
+(** CDF of optimal path duration per study. Studies with no delivered
+    message are omitted. *)
+
+val fig4b : study list -> (string * Psn_stats.Cdf.t) list
+(** CDF of time to explosion per study (messages that exploded). *)
+
+val fig5 : study -> (float * float) list
+(** (optimal duration, time to explosion) scatter points. *)
+
+val fig6 : ?te_min:float -> ?bin:float -> ?window:float -> study -> Psn_stats.Histogram.t
+(** Pooled histogram of path arrivals relative to T1, over messages
+    with TE at least [te_min] (default 150 s, the paper's slow cases);
+    [bin] defaults to 10 s, [window] to 300 s. *)
+
+val fig7 : Psn_trace.Dataset.t list -> (string * Psn_stats.Cdf.t) list
+(** CDF of per-node contact counts for each dataset. *)
+
+val fig8 : study -> (Classify.pair_type * (float * float) list) list
+(** Fig. 5's scatter split by source-destination pair type. *)
+
+val fig11 : study -> (float * int) array
+(** Cumulative count of all (near-)optimal path deliveries over
+    absolute time — the burstiness check. *)
+
+val fig14 : study -> (int * Psn_stats.Summary.t * (float * float)) list
+(** Mean node contact rate per hop position with 99% CIs. *)
+
+val fig15 : study -> (string * Psn_stats.Boxplot.t) list
+(** Box plots of consecutive-hop rate ratios. *)
+
+(** {1 Figures 9, 10, 12, 13 (forwarding side)} *)
+
+type sim_study = {
+  sim_dataset : Psn_trace.Dataset.t;
+  sim_trace : Psn_trace.Trace.t;
+  sim_classify : Classify.t;
+  runs : (Psn_forwarding.Registry.entry * Psn_sim.Engine.outcome list) list;
+}
+
+val sim_study :
+  ?scale:scale ->
+  ?entries:Psn_forwarding.Registry.entry list ->
+  Psn_trace.Dataset.t ->
+  sim_study
+(** Run each algorithm ([entries] defaults to the paper's six) over
+    [scale.seeds] Poisson workloads (rate 1/4 s over the first two
+    hours, as in §6.1). *)
+
+val fig9 : sim_study -> (string * Psn_sim.Metrics.t) list
+(** Average delay and success rate per algorithm — one Fig. 9 panel. *)
+
+val fig10 : sim_study -> (string * Psn_stats.Cdf.t) list
+(** Full delay distribution per algorithm. Algorithms that delivered
+    nothing are omitted. *)
+
+val fig13 :
+  sim_study -> (Classify.pair_type * (string * Psn_sim.Metrics.t) list) list
+(** Per pair type, per algorithm metrics (Fig. 13's two panels). *)
+
+type fig12_example = {
+  ex_src : Psn_trace.Node.id;
+  ex_dst : Psn_trace.Node.id;
+  ex_t_create : float;
+  ex_t1 : float;  (** Absolute first-arrival time. *)
+  arrival_offsets : float list;  (** Path arrivals as seconds after T1. *)
+  algorithm_offsets : (string * float option) list;
+      (** Each algorithm's delivery for this exact message, as seconds
+          after T1 ([None] = not delivered). *)
+}
+
+val fig12 :
+  ?entries:Psn_forwarding.Registry.entry list ->
+  study ->
+  n_examples:int ->
+  fig12_example list
+(** Pick delivered messages with a non-trivial explosion from the study
+    and replay each alone under every algorithm, locating the paths the
+    algorithms take within the arrival bursts. *)
+
+(** {1 Analytic-model tables (§5)} *)
+
+type model_row = {
+  m_time : float;
+  m_closed : float;  (** Closed-form value. *)
+  m_ode : float;  (** Truncated-ODE value. *)
+  m_mc : float;  (** Monte-Carlo estimate. *)
+}
+
+val model_mean_table :
+  n:int -> lambda:float -> times:float list -> runs:int -> ?k_max:int -> ?seed:int64 -> unit ->
+  model_row list
+(** E\[S(t)\]: eq. (4) vs the truncated ODE vs Monte-Carlo. *)
+
+val model_second_moment_table :
+  n:int -> lambda:float -> times:float list -> runs:int -> ?k_max:int -> ?seed:int64 -> unit ->
+  model_row list
+(** E\[S(t)²\]: closed form vs ODE (Σ k² u_k) vs Monte-Carlo. *)
+
+val model_blowup_table : n:int -> lambda:float -> xs:float list -> (float * float option) list
+(** [(x, T_C(x))] — finite-time divergence of the generating function. *)
+
+val model_quadrant_table :
+  ?classes:Psn_model.Inhomogeneous.classes ->
+  ?messages:int ->
+  ?n_explosion:int ->
+  ?t_end:float ->
+  ?seed:int64 ->
+  unit ->
+  Psn_model.Inhomogeneous.quadrant_stats list
+(** The §5.2 quadrant hypotheses measured on the two-class model.
+    Defaults mirror the trace scale: N = 98, half high-rate at
+    0.03 contacts/s, half at 0.005 contacts/s, 3-hour window. *)

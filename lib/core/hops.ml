@@ -1,0 +1,58 @@
+module Path = Psn_paths.Path
+module Summary = Psn_stats.Summary
+
+let mean_rates_by_hop classify paths =
+  let by_hop : (int, Summary.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun path ->
+      List.iteri
+        (fun hop { Path.node; _ } ->
+          let summary =
+            match Hashtbl.find_opt by_hop hop with
+            | Some s -> s
+            | None ->
+              let s = Summary.create () in
+              Hashtbl.add by_hop hop s;
+              s
+          in
+          Summary.add summary (Classify.rate classify node))
+        (Path.hops path))
+    paths;
+  Hashtbl.fold (fun hop summary acc -> (hop, summary) :: acc) by_hop []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (hop, summary) ->
+         (hop, summary, Psn_stats.Confint.of_summary summary Psn_stats.Confint.C99))
+
+let rate_ratios_by_hop classify paths =
+  let by_pos : (int, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let final = ref [] in
+  let note pos ratio =
+    match Hashtbl.find_opt by_pos pos with
+    | Some cell -> cell := ratio :: !cell
+    | None -> Hashtbl.add by_pos pos (ref [ ratio ])
+  in
+  List.iter
+    (fun path ->
+      let nodes = Path.nodes path in
+      let rec walk pos = function
+        | a :: (b :: rest' as rest) ->
+          let ra = Classify.rate classify a and rb = Classify.rate classify b in
+          if ra > 0. then begin
+            let ratio = rb /. ra in
+            (* The last transition is destination-over-last-relay, kept
+               apart as in the paper's final box. *)
+            if rest' = [] then final := ratio :: !final else note pos ratio
+          end;
+          walk (pos + 1) rest
+        | [ _ ] | [] -> ()
+      in
+      walk 0 nodes)
+    paths;
+  let positions =
+    Hashtbl.fold (fun pos cell acc -> (pos, !cell) :: acc) by_pos []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (pos, ratios) ->
+           (Printf.sprintf "%d/%d" (pos + 1) pos, Psn_stats.Boxplot.of_samples (Array.of_list ratios)))
+  in
+  if !final = [] then positions
+  else positions @ [ ("Dst/Lst", Psn_stats.Boxplot.of_samples (Array.of_list !final)) ]

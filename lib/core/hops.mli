@@ -1,0 +1,21 @@
+(** Hop-wise contact-rate structure of near-optimal paths (§6.2).
+
+    The paper's closing argument: successful forwarding climbs the
+    contact-rate gradient. Fig. 14 plots the mean rate of the nodes at
+    each hop position of near-optimal paths (with 99% confidence
+    intervals); Fig. 15 shows box plots of the rate ratio between
+    consecutive hops, which sits above 1 for the first hops. *)
+
+val mean_rates_by_hop :
+  Classify.t -> Psn_paths.Path.t list -> (int * Psn_stats.Summary.t * (float * float)) list
+(** For each hop index (0 = source), the summary of node contact rates
+    observed at that position across all given paths, with its 99%
+    confidence interval. Hop indices with no observations are omitted. *)
+
+val rate_ratios_by_hop :
+  Classify.t -> Psn_paths.Path.t list -> (string * Psn_stats.Boxplot.t) list
+(** Distributions of [λ_next / λ_prev] for consecutive node pairs,
+    grouped by position and labelled the paper's way: ["1/0"], ["2/1"],
+    …, plus ["Dst/Lst"] for the destination over the last relay.
+    Pairs whose denominator rate is zero are skipped. Positions with no
+    data are omitted. *)

@@ -1,0 +1,32 @@
+module Algorithm = Psn_sim.Algorithm
+module Message = Psn_sim.Message
+module Trace = Psn_trace.Trace
+module Contact = Psn_trace.Contact
+
+let factory ?(min_weight = 60.) () =
+  fun trace ->
+  let communities = Community.detect ~min_weight trace in
+  let global_rank = Trace.contact_counts trace in
+  (* Local popularity: contacts with members of one's own community. *)
+  let n = Trace.n_nodes trace in
+  let local_rank = Array.make n 0 in
+  Trace.iter_contacts trace (fun (c : Contact.t) ->
+      if Community.same_community communities c.Contact.a c.Contact.b then begin
+        local_rank.(c.Contact.a) <- local_rank.(c.Contact.a) + 1;
+        local_rank.(c.Contact.b) <- local_rank.(c.Contact.b) + 1
+      end);
+  let in_dst_community node (m : Message.t) =
+    Community.same_community communities node m.Message.dst
+  in
+  Algorithm.stateless ~name:"BubbleRap" (fun ctx ->
+      let m = ctx.Algorithm.message in
+      let holder = ctx.Algorithm.holder and peer = ctx.Algorithm.peer in
+      if in_dst_community holder m then
+        (* Local phase: stay in the community, climb local popularity. *)
+        in_dst_community peer m && local_rank.(peer) > local_rank.(holder)
+      else if in_dst_community peer m then
+        (* Entering the destination's community always helps. *)
+        true
+      else
+        (* Global phase: bubble up the global ranking. *)
+        global_rank.(peer) > global_rank.(holder))

@@ -1,0 +1,16 @@
+(** BUBBLE Rap (Hui, Crowcroft & Yoneki, MobiHoc 2008).
+
+    Social-structure forwarding built from two observables: a node's
+    global popularity (total contacts) and its popularity inside its own
+    community. A copy first "bubbles up" the global popularity ranking;
+    once it reaches a node in the destination's community it bubbles up
+    the local ranking instead, and never leaves the community again.
+
+    This implementation is the oracle variant matching the paper's
+    evaluation style: communities and rankings are computed from the
+    whole trace at construction time (like Greedy Total and Dynamic
+    Programming, it has past-and-future knowledge). *)
+
+val factory : ?min_weight:float -> unit -> Psn_sim.Algorithm.factory
+(** [min_weight] is forwarded to {!Community.detect} (default 60 s of
+    cumulative contact — casual brushes don't define communities). *)

@@ -1,0 +1,39 @@
+type t = {
+  n : int;
+  last : float array;  (* n*n, row-major; nan = never met *)
+  counts : int array;  (* n*n *)
+  totals : int array;
+}
+
+let create ~n =
+  if n <= 0 then invalid_arg "Contact_history.create: n must be positive";
+  { n; last = Array.make (n * n) Float.nan; counts = Array.make (n * n) 0; totals = Array.make n 0 }
+
+let check t a b =
+  if a < 0 || b < 0 || a >= t.n || b >= t.n then
+    invalid_arg "Contact_history: node out of range";
+  if a = b then invalid_arg "Contact_history: self-contact"
+
+let idx t a b = (a * t.n) + b
+
+let observe t ~time ~a ~b =
+  check t a b;
+  t.last.(idx t a b) <- time;
+  t.last.(idx t b a) <- time;
+  t.counts.(idx t a b) <- t.counts.(idx t a b) + 1;
+  t.counts.(idx t b a) <- t.counts.(idx t b a) + 1;
+  t.totals.(a) <- t.totals.(a) + 1;
+  t.totals.(b) <- t.totals.(b) + 1
+
+let last_encounter t a b =
+  check t a b;
+  let v = t.last.(idx t a b) in
+  if Float.is_nan v then None else Some v
+
+let pair_count t a b =
+  check t a b;
+  t.counts.(idx t a b)
+
+let total_count t node =
+  if node < 0 || node >= t.n then invalid_arg "Contact_history.total_count: out of range";
+  t.totals.(node)

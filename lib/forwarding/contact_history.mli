@@ -1,0 +1,24 @@
+(** Online contact history.
+
+    Shared state for history-based algorithms: last encounter time and
+    encounter count per node pair, plus per-node totals — everything
+    FRESH, Greedy and Greedy Online need, learned purely from the
+    contacts observed so far. *)
+
+type t
+
+val create : n:int -> t
+(** Empty history over a population of [n] nodes. *)
+
+val observe : t -> time:float -> a:Psn_trace.Node.id -> b:Psn_trace.Node.id -> unit
+(** Record one contact (symmetric). Raises [Invalid_argument] on
+    out-of-range nodes or [a = b]. *)
+
+val last_encounter : t -> Psn_trace.Node.id -> Psn_trace.Node.id -> float option
+(** Most recent contact time of the pair, if they ever met. *)
+
+val pair_count : t -> Psn_trace.Node.id -> Psn_trace.Node.id -> int
+(** Number of contacts of the pair so far. *)
+
+val total_count : t -> Psn_trace.Node.id -> int
+(** Number of contacts the node has had with anyone so far. *)

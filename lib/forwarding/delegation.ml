@@ -1,0 +1,43 @@
+module Algorithm = Psn_sim.Algorithm
+module Message = Psn_sim.Message
+
+type quality = Rate | Destination_frequency
+
+let name_of = function
+  | Rate -> "Delegation(rate)"
+  | Destination_frequency -> "Delegation(dest)"
+
+let factory ?(quality = Rate) () =
+  fun trace ->
+  let history = Contact_history.create ~n:(Psn_trace.Trace.n_nodes trace) in
+  (* Highest quality witnessed per (message, copy-holding node). A copy
+     inherits the sender's threshold when transferred. *)
+  let thresholds : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let measure node (m : Message.t) =
+    match quality with
+    | Rate -> Contact_history.total_count history node
+    | Destination_frequency -> Contact_history.pair_count history node m.Message.dst
+  in
+  let threshold (m : Message.t) node =
+    match Hashtbl.find_opt thresholds (m.Message.id, node) with
+    | Some v -> v
+    | None -> measure node m
+  in
+  {
+    Algorithm.name = name_of quality;
+    observe_contact = (fun ~time ~a ~b -> Contact_history.observe history ~time ~a ~b);
+    on_create =
+      (fun m -> Hashtbl.replace thresholds (m.Message.id, m.Message.src) (measure m.Message.src m));
+    should_forward =
+      (fun ctx ->
+        let m = ctx.Algorithm.message in
+        measure ctx.Algorithm.peer m > threshold m ctx.Algorithm.holder);
+    on_forward =
+      (fun ctx ->
+        let m = ctx.Algorithm.message in
+        let peer_quality = measure ctx.Algorithm.peer m in
+        let raised = Stdlib.max peer_quality (threshold m ctx.Algorithm.holder) in
+        (* Both holder and receiver move their level up to the witness. *)
+        Hashtbl.replace thresholds (m.Message.id, ctx.Algorithm.holder) raised;
+        Hashtbl.replace thresholds (m.Message.id, ctx.Algorithm.peer) raised);
+  }

@@ -1,0 +1,17 @@
+(** Delegation forwarding (Erramilli, Crovella, Chaintreau & Diot,
+    MobiHoc 2008 — the authors' follow-up to the reproduced paper).
+
+    Each message copy remembers the highest node "quality" it has seen
+    so far; a holder forwards to a peer only when the peer's quality
+    beats that running maximum (and then raises it). With quality =
+    contact rate, this is the principled version of the §6.2 heuristic —
+    climb the rate gradient, but only over genuine improvements, which
+    cuts the copy count dramatically. *)
+
+type quality =
+  | Rate  (** Observed total contact count (destination-unaware). *)
+  | Destination_frequency  (** Observed meetings with the message's
+                               destination (destination-aware). *)
+
+val factory : ?quality:quality -> unit -> Psn_sim.Algorithm.factory
+(** [quality] defaults to [Rate]. *)

@@ -1,0 +1,5 @@
+(** Direct delivery: the source never relays; it waits to meet the
+    destination itself. The natural lower bound complementing
+    epidemic's upper bound. *)
+
+val factory : Psn_sim.Algorithm.factory

@@ -1,0 +1,7 @@
+module Algorithm = Psn_sim.Algorithm
+
+let factory trace =
+  let costs = Meed.routing_costs trace in
+  Algorithm.stateless ~name:"Dynamic Programming" (fun ctx ->
+      let dst = ctx.Algorithm.message.Psn_sim.Message.dst in
+      costs.(ctx.Algorithm.peer).(dst) < costs.(ctx.Algorithm.holder).(dst))

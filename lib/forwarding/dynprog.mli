@@ -1,0 +1,9 @@
+(** The paper's "Dynamic Programming" algorithm.
+
+    Computes minimum expected end-to-end delays between all pairs from
+    the whole trace (past and future knowledge — see {!Meed}) and
+    forwards a copy whenever the peer is strictly closer to the
+    destination in expected delay. Based on Minimum Expected Delay
+    routing (Jain, Fall & Patra, SIGCOMM'04). *)
+
+val factory : Psn_sim.Algorithm.factory

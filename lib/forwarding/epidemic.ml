@@ -1,0 +1,1 @@
+let factory _trace = Psn_sim.Algorithm.stateless ~name:"Epidemic" (fun _ -> true)

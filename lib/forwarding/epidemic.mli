@@ -1,0 +1,7 @@
+(** Epidemic forwarding (Vahdat & Becker): copy to every node met.
+
+    Under infinite buffers and instant transfers this finds the optimal
+    path whenever one exists, so it upper-bounds both success rate and
+    delay — the paper uses it as the performance ceiling. *)
+
+val factory : Psn_sim.Algorithm.factory

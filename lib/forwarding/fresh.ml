@@ -1,0 +1,19 @@
+module Algorithm = Psn_sim.Algorithm
+
+let factory trace =
+  let history = Contact_history.create ~n:(Psn_trace.Trace.n_nodes trace) in
+  {
+    Algorithm.name = "FRESH";
+    observe_contact = (fun ~time ~a ~b -> Contact_history.observe history ~time ~a ~b);
+    on_create = (fun _ -> ());
+    should_forward =
+      (fun ctx ->
+        let dst = ctx.Algorithm.message.Psn_sim.Message.dst in
+        let age node =
+          match Contact_history.last_encounter history node dst with
+          | Some t -> t
+          | None -> Float.neg_infinity
+        in
+        age ctx.Algorithm.peer > age ctx.Algorithm.holder);
+    on_forward = (fun _ -> ());
+  }

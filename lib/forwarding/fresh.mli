@@ -1,0 +1,8 @@
+(** FRESH (Dubois-Ferrière, Grossglauser & Vetterli, MobiHoc'03).
+
+    Destination-aware, recent-history, single-hop criterion: forward a
+    copy to a peer that has met the destination more recently than the
+    current holder has. A node that never met the destination counts as
+    having met it infinitely long ago. *)
+
+val factory : Psn_sim.Algorithm.factory

@@ -1,0 +1,15 @@
+module Algorithm = Psn_sim.Algorithm
+
+let factory trace =
+  let history = Contact_history.create ~n:(Psn_trace.Trace.n_nodes trace) in
+  {
+    Algorithm.name = "Greedy";
+    observe_contact = (fun ~time ~a ~b -> Contact_history.observe history ~time ~a ~b);
+    on_create = (fun _ -> ());
+    should_forward =
+      (fun ctx ->
+        let dst = ctx.Algorithm.message.Psn_sim.Message.dst in
+        Contact_history.pair_count history ctx.Algorithm.peer dst
+        > Contact_history.pair_count history ctx.Algorithm.holder dst);
+    on_forward = (fun _ -> ());
+  }

@@ -1,0 +1,6 @@
+(** Greedy forwarding: complete-history, destination-aware.
+
+    Forward a copy to a peer that has met the destination more times
+    since the start of the run than the current holder has. *)
+
+val factory : Psn_sim.Algorithm.factory

@@ -1,0 +1,14 @@
+module Algorithm = Psn_sim.Algorithm
+
+let factory trace =
+  let history = Contact_history.create ~n:(Psn_trace.Trace.n_nodes trace) in
+  {
+    Algorithm.name = "Greedy Online";
+    observe_contact = (fun ~time ~a ~b -> Contact_history.observe history ~time ~a ~b);
+    on_create = (fun _ -> ());
+    should_forward =
+      (fun ctx ->
+        Contact_history.total_count history ctx.Algorithm.peer
+        > Contact_history.total_count history ctx.Algorithm.holder);
+    on_forward = (fun _ -> ());
+  }

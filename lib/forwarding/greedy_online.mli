@@ -1,0 +1,8 @@
+(** Greedy Online: destination-unaware, past knowledge only.
+
+    Forward a copy to a peer that has had more total contacts (with
+    anyone) since the start of the run than the current holder — i.e.
+    climb toward empirically higher-rate nodes, which §6.2 identifies as
+    the mechanism that triggers path explosion quickly. *)
+
+val factory : Psn_sim.Algorithm.factory

@@ -1,0 +1,6 @@
+module Algorithm = Psn_sim.Algorithm
+
+let factory trace =
+  let totals = Psn_trace.Trace.contact_counts trace in
+  Algorithm.stateless ~name:"Greedy Total" (fun ctx ->
+      totals.(ctx.Algorithm.peer) > totals.(ctx.Algorithm.holder))

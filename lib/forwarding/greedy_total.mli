@@ -1,0 +1,9 @@
+(** Greedy Total: destination-unaware, full (past + future) knowledge.
+
+    Forward a copy to a peer whose total contact count over the whole
+    trace exceeds the holder's — an oracle version of Greedy Online.
+    The paper finds it performs especially well when the source is a
+    low-rate ('out') node, consistent with the path-explosion account
+    of §6.2. *)
+
+val factory : Psn_sim.Algorithm.factory

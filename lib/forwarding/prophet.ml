@@ -1,0 +1,66 @@
+module Algorithm = Psn_sim.Algorithm
+
+type params = { p_init : float; beta : float; gamma : float; tau : float }
+
+let default_params = { p_init = 0.75; beta = 0.25; gamma = 0.98; tau = 60. }
+
+let validate p =
+  if not (p.p_init >= 0. && p.p_init <= 1.) then invalid_arg "Prophet: p_init must be in [0, 1]";
+  if not (p.beta >= 0. && p.beta <= 1.) then invalid_arg "Prophet: beta must be in [0, 1]";
+  if not (p.gamma > 0. && p.gamma <= 1.) then invalid_arg "Prophet: gamma must be in (0, 1]";
+  if not (p.tau > 0.) then invalid_arg "Prophet: tau must be positive"
+
+let factory ?(params = default_params) () =
+  validate params;
+  fun trace ->
+    let n = Psn_trace.Trace.n_nodes trace in
+    let pred = Array.make (n * n) 0. in
+    let aged = Array.make (n * n) 0. in
+    (* Aging is applied lazily per direction when the entry is next read
+       or written. *)
+    let age time i =
+      let dt = time -. aged.(i) in
+      if dt > 0. && pred.(i) > 0. then
+        pred.(i) <- pred.(i) *. Float.pow params.gamma (dt /. params.tau);
+      aged.(i) <- time
+    in
+    let idx a b = (a * n) + b in
+    let get time a b =
+      let i = idx a b in
+      age time i;
+      pred.(i)
+    in
+    let set time a b v =
+      let i = idx a b in
+      age time i;
+      pred.(i) <- v
+    in
+    let observe_contact ~time ~a ~b =
+      let bump x y =
+        let p = get time x y in
+        set time x y (p +. ((1. -. p) *. params.p_init))
+      in
+      bump a b;
+      bump b a;
+      (* Transitivity: meeting b teaches a about b's contacts, and
+         symmetrically. *)
+      for c = 0 to n - 1 do
+        if c <> a && c <> b then begin
+          let via_b = get time a b *. get time b c *. params.beta in
+          if via_b > get time a c then set time a c via_b;
+          let via_a = get time b a *. get time a c *. params.beta in
+          if via_a > get time b c then set time b c via_a
+        end
+      done
+    in
+    {
+      Algorithm.name = "PRoPHET";
+      observe_contact;
+      on_create = (fun _ -> ());
+      should_forward =
+        (fun ctx ->
+          let dst = ctx.Algorithm.message.Psn_sim.Message.dst in
+          get ctx.Algorithm.time ctx.Algorithm.peer dst
+          > get ctx.Algorithm.time ctx.Algorithm.holder dst);
+      on_forward = (fun _ -> ());
+    }

@@ -1,0 +1,21 @@
+(** PRoPHET (Lindgren, Doria & Schelén, 2003).
+
+    Probabilistic routing using delivery predictabilities: on every
+    encounter [P(a,b) += (1 - P(a,b)) * p_init]; predictabilities age as
+    [P *= gamma^(Δt / tau)]; and meetings propagate transitively as
+    [P(a,c) = max(P(a,c), P(a,b) * P(b,c) * beta)]. A copy crosses a
+    contact when the peer's predictability for the destination strictly
+    exceeds the holder's. *)
+
+type params = {
+  p_init : float;  (** Encounter bump (default 0.75). *)
+  beta : float;  (** Transitivity damping (default 0.25). *)
+  gamma : float;  (** Aging base per time unit (default 0.98). *)
+  tau : float;  (** Aging time unit in seconds (default 60). *)
+}
+
+val default_params : params
+
+val factory : ?params:params -> unit -> Psn_sim.Algorithm.factory
+(** Raises [Invalid_argument] for parameters outside their ranges
+    ([p_init], [beta] in [\[0, 1\]], [gamma] in (0, 1], [tau] > 0). *)

@@ -1,0 +1,24 @@
+(** Name-indexed catalogue of forwarding algorithms. *)
+
+type entry = {
+  name : string;  (** Stable lookup key, e.g. ["greedy-total"]. *)
+  label : string;  (** The paper's display name, e.g. ["Greedy Total"]. *)
+  in_paper : bool;  (** Whether §6 of the paper evaluates it. *)
+  factory : Psn_sim.Algorithm.factory;
+}
+
+val paper_six : entry list
+(** The six algorithms of Fig. 9, in the paper's order: Epidemic,
+    FRESH, Greedy, Greedy Total, Greedy Online, Dynamic Programming. *)
+
+val extensions : entry list
+(** Direct, Random(0.5), Spray and Wait (L = 8), PRoPHET, Two-Hop, and
+    Delegation forwarding (rate- and destination-quality variants) —
+    algorithms from the related-work canon and the authors' follow-up
+    work, provided for cost/ablation studies. *)
+
+val all : entry list
+(** [paper_six @ extensions]. *)
+
+val find : string -> (entry, string) result
+(** Look up by [name]; the error lists the valid names. *)

@@ -1,0 +1,25 @@
+module Algorithm = Psn_sim.Algorithm
+module Message = Psn_sim.Message
+
+let factory ?(l = 8) () =
+  if l < 1 then invalid_arg "Spray_wait.factory: l must be >= 1";
+  fun _trace ->
+    (* tokens (message id, node) -> remaining copy budget at that node *)
+    let tokens : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    let budget msg node = Option.value ~default:0 (Hashtbl.find_opt tokens (msg, node)) in
+    {
+      Algorithm.name = Printf.sprintf "Spray&Wait(L=%d)" l;
+      observe_contact = (fun ~time:_ ~a:_ ~b:_ -> ());
+      on_create =
+        (fun m -> Hashtbl.replace tokens (m.Message.id, m.Message.src) l);
+      should_forward =
+        (fun ctx ->
+          budget ctx.Algorithm.message.Message.id ctx.Algorithm.holder > 1);
+      on_forward =
+        (fun ctx ->
+          let id = ctx.Algorithm.message.Message.id in
+          let have = budget id ctx.Algorithm.holder in
+          let give = have / 2 in
+          Hashtbl.replace tokens (id, ctx.Algorithm.holder) (have - give);
+          Hashtbl.replace tokens (id, ctx.Algorithm.peer) give);
+    }

@@ -1,0 +1,11 @@
+(** Binary Spray and Wait (Spyropoulos, Psounis & Raghavendra, WDTN'05).
+
+    Each message starts with [l] logical copy tokens at its source.
+    A holder with more than one token hands half of them (rounded down)
+    to any peer without the message; a holder with a single token waits
+    for the destination (the engine's minimal-progress delivery). Caps
+    replication at [l] copies — the paper's open cost question made
+    concrete. *)
+
+val factory : ?l:int -> unit -> Psn_sim.Algorithm.factory
+(** [l] defaults to 8; must be >= 1. *)

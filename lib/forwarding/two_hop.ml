@@ -1,0 +1,8 @@
+module Algorithm = Psn_sim.Algorithm
+module Message = Psn_sim.Message
+
+let factory _trace =
+  Algorithm.stateless ~name:"Two-Hop" (fun ctx ->
+      (* Only the source sprays; the engine's minimal progress handles
+         relay-to-destination delivery. *)
+      ctx.Algorithm.holder = ctx.Algorithm.message.Message.src)

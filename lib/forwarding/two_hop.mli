@@ -1,0 +1,9 @@
+(** Two-hop relay (Grossglauser & Tse, 2002).
+
+    The classic capacity-motivated scheme: the source hands copies to
+    relays it meets, but relays never re-forward — they hold their copy
+    until they meet the destination themselves. Paths have at most two
+    hops, so this isolates how much of the paper's performance comes
+    from genuinely multi-hop paths. *)
+
+val factory : Psn_sim.Algorithm.factory

@@ -1,0 +1,24 @@
+(** Fixed-step Runge-Kutta integration.
+
+    A small classical RK4 integrator over [float array] states — enough
+    to solve the truncated population ODE of §5.1 and cross-check its
+    closed forms. No adaptivity; callers choose the step count. *)
+
+type derivative = t:float -> y:float array -> float array
+(** Right-hand side [dy/dt = f t y]; must return an array of the same
+    length as [y] (checked on the first call). *)
+
+val rk4 : f:derivative -> y0:float array -> t0:float -> t1:float -> steps:int -> float array
+(** Integrate from [t0] to [t1] in [steps] equal RK4 steps and return
+    the final state. [y0] is not mutated. Raises [Invalid_argument] if
+    [steps <= 0] or [t1 < t0]. *)
+
+val trajectory :
+  f:derivative ->
+  y0:float array ->
+  t0:float ->
+  t1:float ->
+  steps:int ->
+  (float * float array) list
+(** As {!rk4} but returns every intermediate state, [(t0, y0)] first and
+    [(t1, y(t1))] last — [steps + 1] points. *)

@@ -1,0 +1,303 @@
+module Snapshot = Psn_spacetime.Snapshot
+module Timegrid = Psn_spacetime.Timegrid
+
+type config = {
+  k : int;
+  max_hops : int option;
+  stop_at_total : int option;
+  exhaustive : bool;
+}
+
+let default_config = { k = 2000; max_hops = None; stop_at_total = None; exhaustive = false }
+
+type arrival = { path : Path.t; step : int; time : float; duration : float }
+
+type result = {
+  arrivals : arrival array;
+  stopped_early : bool;
+  steps_processed : int;
+  src : Psn_trace.Node.id;
+  dst : Psn_trace.Node.id;
+  t_create : float;
+}
+
+(* Compact per-copy state. [hops_rev] shares its tail across extensions,
+   so an extension costs one cons; [visited] is a private bitset copied
+   on extension (n/8 bytes). *)
+type ipath = {
+  last : int;
+  hops_rev : (int * int) list;
+  nhops : int;
+  visited : Bytes.t;
+  born : int;  (* step at which this copy was created *)
+}
+
+let bitset_create n = Bytes.make ((n + 7) / 8) '\000'
+
+let bitset_mem bs i = Char.code (Bytes.get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bitset_add bs i =
+  let byte = i lsr 3 in
+  Bytes.set bs byte (Char.chr (Char.code (Bytes.get bs byte) lor (1 lsl (i land 7))))
+
+let bitset_with bs i =
+  let copy = Bytes.copy bs in
+  bitset_add copy i;
+  copy
+
+let bitset_intersects a b =
+  let len = Bytes.length a in
+  let rec scan i =
+    if i >= len then false
+    else if Char.code (Bytes.get a i) land Char.code (Bytes.get b i) <> 0 then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Merge two nhops-ascending path lists, keeping the first [k]. *)
+let merge_k k xs ys =
+  let rec go n xs ys acc =
+    if n = 0 then List.rev acc
+    else
+      match (xs, ys) with
+      | [], [] -> List.rev acc
+      | x :: xs', [] -> go (n - 1) xs' [] (x :: acc)
+      | [], y :: ys' -> go (n - 1) [] ys' (y :: acc)
+      | x :: xs', y :: ys' ->
+        if x.nhops <= y.nhops then go (n - 1) xs' ys (x :: acc) else go (n - 1) xs ys' (y :: acc)
+  in
+  go k xs ys []
+
+let to_path ip ~dst ~step =
+  let hops = List.rev_map (fun (node, step) -> { Path.node; step }) ((dst, step) :: ip.hops_rev) in
+  Path.of_hops hops
+
+let run ?(config = default_config) snap ~src ~dst ~t_create =
+  let n = Snapshot.n_nodes snap in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Enumerate.run: node out of range";
+  if src = dst then invalid_arg "Enumerate.run: src = dst";
+  if config.k <= 0 then invalid_arg "Enumerate.run: k must be positive";
+  let grid = Snapshot.grid snap in
+  let c0 = Timegrid.step_of_time grid t_create in
+  let k = config.k in
+  let hop_cap = match config.max_hops with None -> n | Some h -> Stdlib.min h n in
+  (* DP table: per node, the retained paths, nhops-ascending. *)
+  let table = Array.make n [] in
+  let table_size = Array.make n 0 in
+  table.(src) <-
+    [
+      {
+        last = src;
+        hops_rev = [ (src, c0) ];
+        nhops = 1;
+        visited = bitset_with (bitset_create n) src;
+        born = c0;
+      };
+    ];
+  table_size.(src) <- 1;
+  let live_paths = ref 1 in
+  let arrivals = ref [] in
+  let n_arrivals = ref 0 in
+  let stopped_early = ref false in
+  let steps_processed = ref 0 in
+  (* Dijkstra-style bucket queue over nhops keeps intra-step expansion in
+     ascending hop order, making the per-node k-shortest pruning exact. *)
+  let buckets = Array.make (n + 2) [] in
+  let new_at = Array.make n [] in
+  let new_count = Array.make n 0 in
+  let touched = ref [] in
+  let total_budget () =
+    match config.stop_at_total with None -> max_int | Some t -> t
+  in
+  let step = ref (c0 + 1) in
+  let n_steps = Timegrid.n_steps grid in
+  (try
+     while !step <= n_steps do
+       let step_now = !step in
+       incr steps_processed;
+       let neighbours = Snapshot.neighbours snap ~step:step_now in
+       let dst_contacts = neighbours dst in
+       (* An extension of path p over edge (u, v) can enter v's table (or
+          deliver) only if p is newly created or the edge is newly
+          present: a static configuration already produced the same-hop,
+          earlier-time copies in the previous step, and ties keep the
+          earlier copy. Restricting extensions accordingly removes the
+          dominant steady-state cost without changing any output. *)
+       let prev_neighbours u =
+         if step_now = 1 then [] else Snapshot.neighbours snap ~step:(step_now - 1) u
+       in
+       let fresh_edges = Array.make n [] in
+       let has_fresh = Array.make n false in
+       for u = 0 to n - 1 do
+         let fresh =
+           if config.exhaustive then neighbours u
+           else begin
+             let prev = prev_neighbours u in
+             List.filter (fun v -> not (List.mem v prev)) (neighbours u)
+           end
+         in
+         fresh_edges.(u) <- fresh;
+         has_fresh.(u) <- fresh <> []
+       done;
+       (* Deliveries are different: every chain reaching the destination
+          this step is a distinct counted path even along static edges
+          (each step's traversal has its own timestamps), so inside the
+          destination's contact component everything must extend. *)
+       let in_dst_component = Array.make n false in
+       if dst_contacts <> [] then
+         List.iter
+           (fun u -> in_dst_component.(u) <- true)
+           (Snapshot.component_of snap ~step:step_now dst);
+       (* Seed the buckets with retained paths that can still produce
+          novel extensions or deliveries this step. *)
+       let any_active = ref false in
+       for u = 0 to n - 1 do
+         if u <> dst && table.(u) <> [] && neighbours u <> [] then
+           List.iter
+             (fun p ->
+               if p.born >= step_now - 1 || has_fresh.(u) || in_dst_component.(u) then begin
+                 any_active := true;
+                 buckets.(p.nhops) <- p :: buckets.(p.nhops)
+               end)
+             table.(u)
+       done;
+       if !any_active then begin
+         let step_time = Timegrid.time_of_step grid step_now in
+         let arrivals_this_step = ref 0 in
+         (* Threshold beyond which a candidate at node v cannot rank in
+            v's top k once merged with the old paths. *)
+         let kth_old = Array.make n max_int in
+         for v = 0 to n - 1 do
+           if table_size.(v) >= k then begin
+             let rec nth i = function
+               | x :: _ when i = k - 1 -> x.nhops
+               | _ :: rest -> nth (i + 1) rest
+               | [] -> max_int
+             in
+             kth_old.(v) <- nth 0 table.(v)
+           end
+         done;
+         (try
+            for h = 1 to n do
+              let rec drain () =
+                match buckets.(h) with
+                | [] -> ()
+                | p :: rest ->
+                  buckets.(h) <- rest;
+                  let u = p.last in
+                  let targets =
+                    if p.born >= step_now - 1 || in_dst_component.(u) then neighbours u
+                    else fresh_edges.(u)
+                  in
+                  List.iter
+                    (fun v ->
+                      if v = dst then begin
+                        if !arrivals_this_step < k && !n_arrivals < total_budget () then begin
+                          arrivals :=
+                            {
+                              path = to_path p ~dst ~step:step_now;
+                              step = step_now;
+                              time = step_time;
+                              duration = step_time -. t_create;
+                            }
+                            :: !arrivals;
+                          incr arrivals_this_step;
+                          incr n_arrivals
+                        end;
+                        if !arrivals_this_step >= k || !n_arrivals >= total_budget () then
+                          raise Exit
+                      end
+                      else if
+                        (not (bitset_mem p.visited v))
+                        && p.nhops < hop_cap
+                        && new_count.(v) < k
+                        && p.nhops + 1 <= kth_old.(v)
+                      then begin
+                        let q =
+                          {
+                            last = v;
+                            hops_rev = (v, step_now) :: p.hops_rev;
+                            nhops = p.nhops + 1;
+                            visited = bitset_with p.visited v;
+                            born = step_now;
+                          }
+                        in
+                        if new_count.(v) = 0 then touched := v :: !touched;
+                        new_at.(v) <- q :: new_at.(v);
+                        new_count.(v) <- new_count.(v) + 1;
+                        buckets.(q.nhops) <- q :: buckets.(q.nhops)
+                      end)
+                    targets;
+                  drain ()
+              in
+              drain ()
+            done
+          with Exit ->
+            (* A stop threshold fired mid-step; clear leftover buckets. *)
+            Array.fill buckets 0 (Array.length buckets) []);
+         (* First preference is retrospective: once a node meets the
+            destination, every path that ever passed through it (and was
+            thus deliverable at this step at the latest) may not produce
+            later deliveries. Build a mask of this step's destination
+            contacts and drop every path whose visited set intersects
+            it — both retained paths and this step's fresh ones. Their
+            same-step deliveries were already emitted above. *)
+         let d_mask =
+           if dst_contacts = [] then None
+           else begin
+             let mask = bitset_create n in
+             List.iter (fun u -> bitset_add mask u) dst_contacts;
+             Some mask
+           end
+         in
+         let surviving paths =
+           match d_mask with
+           | None -> paths
+           | Some mask -> List.filter (fun p -> not (bitset_intersects p.visited mask)) paths
+         in
+         (match d_mask with
+         | None -> ()
+         | Some _ ->
+           for w = 0 to n - 1 do
+             if table.(w) <> [] then begin
+               let kept = surviving table.(w) in
+               let sz = List.length kept in
+               live_paths := !live_paths - table_size.(w) + sz;
+               table.(w) <- kept;
+               table_size.(w) <- sz
+             end
+           done);
+         (* Merge this step's surviving new paths into the table. *)
+         List.iter
+           (fun v ->
+             let fresh = surviving (List.rev new_at.(v)) in
+             let before = table_size.(v) in
+             let merged = merge_k k table.(v) fresh in
+             table.(v) <- merged;
+             table_size.(v) <- List.length merged;
+             live_paths := !live_paths - before + table_size.(v);
+             new_at.(v) <- [];
+             new_count.(v) <- 0)
+           !touched;
+         touched := [];
+         if !arrivals_this_step >= k || !n_arrivals >= total_budget () then begin
+           stopped_early := true;
+           raise Exit
+         end
+       end;
+       if !live_paths = 0 then raise Exit;
+       incr step
+     done
+   with Exit -> ());
+  {
+    arrivals = Array.of_list (List.rev !arrivals);
+    stopped_early = !stopped_early;
+    steps_processed = !steps_processed;
+    src;
+    dst;
+    t_create;
+  }
+
+let first_arrival result = if Array.length result.arrivals = 0 then None else Some result.arrivals.(0)
+
+let arrival_times result = Array.map (fun a -> a.time) result.arrivals

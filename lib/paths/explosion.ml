@@ -1,0 +1,58 @@
+type summary = {
+  n_arrivals : int;
+  delivered : bool;
+  t1 : float option;
+  optimal_duration : float option;
+  tn : float option;
+  te : float option;
+}
+
+let analyze ?(n_explosion = 2000) (result : Enumerate.result) =
+  if n_explosion <= 0 then invalid_arg "Explosion.analyze: n_explosion must be positive";
+  let arrivals = result.Enumerate.arrivals in
+  let n = Array.length arrivals in
+  if n = 0 then
+    { n_arrivals = 0; delivered = false; t1 = None; optimal_duration = None; tn = None; te = None }
+  else begin
+    let first = arrivals.(0) in
+    let t1 = first.Enumerate.time in
+    let tn =
+      if n >= n_explosion then Some arrivals.(n_explosion - 1).Enumerate.time else None
+    in
+    {
+      n_arrivals = n;
+      delivered = true;
+      t1 = Some t1;
+      optimal_duration = Some first.Enumerate.duration;
+      tn;
+      te = Option.map (fun t -> t -. t1) tn;
+    }
+  end
+
+let cumulative (result : Enumerate.result) =
+  let points = ref [] in
+  Array.iteri
+    (fun i (a : Enumerate.arrival) ->
+      match !points with
+      | (t, _) :: rest when Float.equal t a.Enumerate.time ->
+        points := (t, i + 1) :: rest
+      | _ -> points := (a.Enumerate.time, i + 1) :: !points)
+    result.Enumerate.arrivals;
+  List.rev !points
+
+let arrivals_relative_to_t1 (result : Enumerate.result) =
+  match Array.length result.Enumerate.arrivals with
+  | 0 -> []
+  | _ ->
+    let t1 = result.Enumerate.arrivals.(0).Enumerate.time in
+    Array.to_list result.Enumerate.arrivals
+    |> List.map (fun (a : Enumerate.arrival) -> a.Enumerate.time -. t1)
+
+let growth_rate result =
+  match cumulative result with
+  | [] | [ _ ] -> None
+  | ((t1, _) :: _ : (float * int) list) as staircase ->
+    let points = List.map (fun (t, c) -> (t -. t1, float_of_int c)) staircase in
+    (match Psn_stats.Regression.exponential_rate points with
+    | fit -> Some fit
+    | exception Invalid_argument _ -> None)

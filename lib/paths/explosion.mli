@@ -1,0 +1,34 @@
+(** Path-explosion metrics (§4.2).
+
+    Given one message's enumeration output, computes the quantities the
+    paper defines: [T1] (arrival time of the optimal path), [Tn] (time
+    of the n-th path, default n = 2000), and the time to explosion
+    [TE = Tn - T1]. Also provides the cumulative-arrival staircase of
+    Fig. 6 and an exponential growth-rate fit of the explosion. *)
+
+type summary = {
+  n_arrivals : int;  (** Paths recorded before enumeration stopped. *)
+  delivered : bool;  (** At least one path reached the destination. *)
+  t1 : float option;  (** Absolute arrival time of the first path. *)
+  optimal_duration : float option;  (** [T1 - t_create] — Fig. 4a's variable. *)
+  tn : float option;  (** Absolute time of the n-th arrival, when it exists. *)
+  te : float option;  (** [Tn - T1] — Fig. 4b's variable. *)
+}
+
+val analyze : ?n_explosion:int -> Enumerate.result -> summary
+(** [n_explosion] defaults to the paper's 2000. Raises
+    [Invalid_argument] if it is not positive. *)
+
+val cumulative : Enumerate.result -> (float * int) list
+(** [(arrival time, total paths so far)] staircase, one point per
+    distinct arrival time. *)
+
+val arrivals_relative_to_t1 : Enumerate.result -> float list
+(** Each arrival's delay after the first arrival — the raw data behind
+    Fig. 6's histogram. Empty when nothing was delivered. *)
+
+val growth_rate : Enumerate.result -> Psn_stats.Regression.fit option
+(** Fit [count(t) = A e^{r (t - T1)}] over the cumulative staircase;
+    [None] when fewer than two distinct arrival times exist. The
+    paper's claim is that this growth is approximately exponential with
+    rate set by the contact rates involved. *)

@@ -1,0 +1,21 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* Constants from Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators" (OOPSLA 2014). *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_four t =
+  let a = next t in
+  let b = next t in
+  let c = next t in
+  let d = next t in
+  (a, b, c, d)

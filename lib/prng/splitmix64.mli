@@ -1,0 +1,22 @@
+(** SplitMix64 pseudo-random generator.
+
+    A tiny, fast 64-bit generator with a single [int64] of state. Its
+    main use here is expanding a user-supplied seed into the 256 bits of
+    state required by {!Xoshiro}, as recommended by the xoshiro authors.
+    It is also a perfectly serviceable generator on its own for
+    non-cryptographic purposes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from an arbitrary 64-bit seed.
+    Distinct seeds yield independent-looking streams; the all-zero seed
+    is fine (SplitMix64 has no bad seeds). *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_four : t -> int64 * int64 * int64 * int64
+(** [next_four t] returns four successive outputs, in order. Convenience
+    for seeding 256-bit generators. *)

@@ -1,0 +1,25 @@
+type context = {
+  time : float;
+  holder : Psn_trace.Node.id;
+  peer : Psn_trace.Node.id;
+  message : Message.t;
+}
+
+type t = {
+  name : string;
+  observe_contact : time:float -> a:Psn_trace.Node.id -> b:Psn_trace.Node.id -> unit;
+  on_create : Message.t -> unit;
+  should_forward : context -> bool;
+  on_forward : context -> unit;
+}
+
+let stateless ~name should_forward =
+  {
+    name;
+    observe_contact = (fun ~time:_ ~a:_ ~b:_ -> ());
+    on_create = (fun _ -> ());
+    should_forward;
+    on_forward = (fun _ -> ());
+  }
+
+type factory = Psn_trace.Trace.t -> t

@@ -1,0 +1,42 @@
+(** The forwarding-algorithm interface.
+
+    An algorithm is a bundle of callbacks the simulation engine drives.
+    The engine owns delivery (minimal progress: a holder meeting the
+    destination always hands over) and copy semantics (forwarding copies
+    the message; the sender keeps holding — the paper's infinite-buffer
+    assumption); the algorithm only answers "should this copy cross this
+    contact?" and maintains whatever state it needs via the observation
+    callbacks. Oracle algorithms (Greedy Total, Dynamic Programming)
+    bake knowledge of the whole trace into their closures at
+    construction time. *)
+
+type context = {
+  time : float;  (** Decision instant. *)
+  holder : Psn_trace.Node.id;  (** Node currently holding the copy. *)
+  peer : Psn_trace.Node.id;  (** Candidate next hop (never the destination —
+                                 the engine delivers those directly). *)
+  message : Message.t;
+}
+
+type t = {
+  name : string;
+  observe_contact : time:float -> a:Psn_trace.Node.id -> b:Psn_trace.Node.id -> unit;
+      (** Called once per contact start, before any exchange decision at
+          that contact, letting history-based algorithms learn online. *)
+  on_create : Message.t -> unit;
+      (** Called when a message enters the network at its source. *)
+  should_forward : context -> bool;
+      (** Copy decision. Must be side-effect free enough to be safe to
+          call once per (copy, contact) opportunity. *)
+  on_forward : context -> unit;
+      (** Called after a copy was actually transferred — lets
+          token-based schemes (spray and wait) split their budget. *)
+}
+
+val stateless : name:string -> (context -> bool) -> t
+(** Build an algorithm with no observation state, e.g. epidemic. *)
+
+type factory = Psn_trace.Trace.t -> t
+(** Fresh algorithm state for one simulation run over the given trace.
+    The trace parameter is what future-knowledge oracles read; online
+    algorithms must ignore it. *)

@@ -1,0 +1,136 @@
+module Trace = Psn_trace.Trace
+module Contact = Psn_trace.Contact
+
+type record = { message : Message.t; delivered : float option }
+
+type outcome = { algorithm : string; records : record array; copies : int }
+
+type event =
+  | Contact_end of int * int
+  | Contact_start of int * int
+  | Create of Message.t
+
+(* Order events at equal times: ends, then starts, then creations — a
+   message created the instant a contact opens may use it. *)
+let event_rank = function Contact_end _ -> 0 | Contact_start _ -> 1 | Create _ -> 2
+
+let build_events trace messages =
+  let events = ref [] in
+  Trace.iter_contacts trace (fun (c : Contact.t) ->
+      events := (c.Contact.t_start, Contact_start (c.Contact.a, c.Contact.b)) :: !events;
+      events := (c.Contact.t_end, Contact_end (c.Contact.a, c.Contact.b)) :: !events);
+  List.iter (fun (m : Message.t) -> events := (m.Message.t_create, Create m) :: !events) messages;
+  let compare_events (t1, e1) (t2, e2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare (event_rank e1) (event_rank e2)
+  in
+  List.sort compare_events !events
+
+let run ?ttl ~trace ~messages algorithm =
+  (match ttl with
+  | Some t when not (t > 0.) -> invalid_arg "Engine.run: ttl must be positive"
+  | Some _ | None -> ());
+  let expired (m : Message.t) time =
+    match ttl with None -> false | Some t -> time > m.Message.t_create +. t
+  in
+  let n = Trace.n_nodes trace in
+  let horizon = Trace.horizon trace in
+  List.iter
+    (fun (m : Message.t) ->
+      if m.Message.src >= n || m.Message.dst >= n then
+        invalid_arg "Engine.run: message endpoint outside population";
+      if m.Message.t_create >= horizon then
+        invalid_arg "Engine.run: message created outside trace window")
+    messages;
+  let n_msgs = List.length messages in
+  let message_of = Array.make n_msgs None in
+  List.iter
+    (fun (m : Message.t) ->
+      if m.Message.id < 0 || m.Message.id >= n_msgs then
+        invalid_arg "Engine.run: message ids must be dense in [0, count)";
+      if message_of.(m.Message.id) <> None then invalid_arg "Engine.run: duplicate message id";
+      message_of.(m.Message.id) <- Some m)
+    messages;
+  (* Per-node active peers (multiset: duplicate records are tolerated). *)
+  let active = Array.make n [] in
+  (* holders.(msg) = bitset of nodes with a copy. *)
+  let holders = Array.init n_msgs (fun _ -> Bytes.make ((n + 7) / 8) '\000') in
+  let has_copy msg node =
+    Char.code (Bytes.get holders.(msg) (node lsr 3)) land (1 lsl (node land 7)) <> 0
+  in
+  let set_copy msg node =
+    let byte = node lsr 3 in
+    Bytes.set holders.(msg) byte
+      (Char.chr (Char.code (Bytes.get holders.(msg) byte) lor (1 lsl (node land 7))))
+  in
+  let held = Array.make n [] in
+  let delivered = Array.make n_msgs None in
+  let copies = ref 0 in
+  (* Cascading receive: instant transfers mean a fresh copy immediately
+     competes for every active contact of its new holder. *)
+  let rec receive (m : Message.t) node time =
+    let id = m.Message.id in
+    if delivered.(id) = None && not (has_copy id node) then begin
+      set_copy id node;
+      if node = m.Message.dst then delivered.(id) <- Some time
+      else begin
+        held.(node) <- id :: held.(node);
+        List.iter (fun peer -> offer m ~holder:node ~peer time) active.(node)
+      end
+    end
+  (* One copy, one contact: deliver on meeting the destination (minimal
+     progress), otherwise ask the algorithm. *)
+  and offer (m : Message.t) ~holder ~peer time =
+    let id = m.Message.id in
+    if delivered.(id) = None && not (expired m time) then
+      if peer = m.Message.dst then receive m peer time
+      else if
+        (not (has_copy id peer))
+        && algorithm.Algorithm.should_forward { Algorithm.time; holder; peer; message = m }
+      then begin
+        algorithm.Algorithm.on_forward { Algorithm.time; holder; peer; message = m };
+        incr copies;
+        receive m peer time
+      end
+  in
+  let exchange a b time =
+    (* Offer everything [a] holds across the new contact with [b]. *)
+    let snapshot = held.(a) in
+    List.iter
+      (fun id ->
+        match message_of.(id) with
+        | None -> ()
+        | Some m -> offer m ~holder:a ~peer:b time)
+      snapshot
+  in
+  let remove_one x xs =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | y :: rest -> if y = x then List.rev_append acc rest else go (y :: acc) rest
+    in
+    go [] xs
+  in
+  List.iter
+    (fun (time, event) ->
+      match event with
+      | Contact_end (a, b) ->
+        active.(a) <- remove_one b active.(a);
+        active.(b) <- remove_one a active.(b)
+      | Contact_start (a, b) ->
+        algorithm.Algorithm.observe_contact ~time ~a ~b;
+        active.(a) <- b :: active.(a);
+        active.(b) <- a :: active.(b);
+        exchange a b time;
+        exchange b a time
+      | Create m ->
+        algorithm.Algorithm.on_create m;
+        receive m m.Message.src time)
+    (build_events trace messages);
+  let records =
+    List.map (fun (m : Message.t) -> { message = m; delivered = delivered.(m.Message.id) }) messages
+    |> Array.of_list
+  in
+  { algorithm = algorithm.Algorithm.name; records; copies = !copies }
+
+let delay record =
+  Option.map (fun t -> t -. record.message.Message.t_create) record.delivered

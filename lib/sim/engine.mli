@@ -1,0 +1,44 @@
+(** The trace-driven forwarding simulator (§6.1).
+
+    Replays a contact trace chronologically and spreads a message
+    workload through it under a forwarding algorithm's copy decisions.
+
+    Semantics, matching the paper's assumptions:
+    - transfers are instantaneous, so a node that acquires a copy
+      mid-contact immediately re-offers it across all of its currently
+      active contacts (cascading closure);
+    - buffers are infinite and copies are never dropped: forwarding
+      copies the message, the sender keeps its copy;
+    - minimal progress: any holder in contact with the destination
+      delivers, whatever the algorithm says;
+    - a message stops spreading once first delivered (only the first
+      delivery is measured). *)
+
+type record = {
+  message : Message.t;
+  delivered : float option;  (** Absolute first-delivery time. *)
+}
+
+type outcome = {
+  algorithm : string;
+  records : record array;  (** One per workload message, in message order. *)
+  copies : int;  (** Total copy transfers performed (cost measure). *)
+}
+
+val run :
+  ?ttl:float ->
+  trace:Psn_trace.Trace.t ->
+  messages:Message.t list ->
+  Algorithm.t ->
+  outcome
+(** Simulate one run. Message endpoints must lie inside the trace
+    population and creation times inside the trace window; raises
+    [Invalid_argument] otherwise.
+
+    [ttl], when given, bounds each message's useful lifetime: copies are
+    neither transferred nor delivered past [t_create + ttl] (the paper
+    assumes infinite lifetimes; the bound supports expiry ablations).
+    Must be positive. *)
+
+val delay : record -> float option
+(** Delivery delay [delivered - t_create]. *)

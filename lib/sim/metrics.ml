@@ -1,0 +1,89 @@
+type t = {
+  algorithm : string;
+  messages : int;
+  delivered : int;
+  success_rate : float;
+  mean_delay : float;
+  median_delay : float;
+  copies : int;
+}
+
+let delays (outcome : Engine.outcome) =
+  let out =
+    Array.to_list outcome.Engine.records
+    |> List.filter_map Engine.delay
+    |> Array.of_list
+  in
+  Array.sort Float.compare out;
+  out
+
+let of_records algorithm records copies =
+  let messages = Array.length records in
+  let delay_list = Array.to_list records |> List.filter_map Engine.delay in
+  let delivered = List.length delay_list in
+  let mean_delay =
+    if delivered = 0 then Float.nan
+    else List.fold_left ( +. ) 0. delay_list /. float_of_int delivered
+  in
+  let median_delay =
+    if delivered = 0 then Float.nan
+    else Psn_stats.Quantile.median (Array.of_list delay_list)
+  in
+  {
+    algorithm;
+    messages;
+    delivered;
+    success_rate = (if messages = 0 then 0. else float_of_int delivered /. float_of_int messages);
+    mean_delay;
+    median_delay;
+    copies;
+  }
+
+let of_outcome (outcome : Engine.outcome) =
+  of_records outcome.Engine.algorithm outcome.Engine.records outcome.Engine.copies
+
+let average = function
+  | [] -> invalid_arg "Metrics.average: empty list"
+  | first :: _ as metrics ->
+    List.iter
+      (fun m ->
+        if not (String.equal m.algorithm first.algorithm) then
+          invalid_arg "Metrics.average: mixed algorithms")
+      metrics;
+    let messages = List.fold_left (fun acc m -> acc + m.messages) 0 metrics in
+    let delivered = List.fold_left (fun acc m -> acc + m.delivered) 0 metrics in
+    let copies = List.fold_left (fun acc m -> acc + m.copies) 0 metrics in
+    let weighted field =
+      if delivered = 0 then Float.nan
+      else
+        List.fold_left
+          (fun acc m -> if m.delivered = 0 then acc else acc +. (float_of_int m.delivered *. field m))
+          0. metrics
+        /. float_of_int delivered
+    in
+    {
+      algorithm = first.algorithm;
+      messages;
+      delivered;
+      success_rate = (if messages = 0 then 0. else float_of_int delivered /. float_of_int messages);
+      mean_delay = weighted (fun m -> m.mean_delay);
+      median_delay = weighted (fun m -> m.median_delay);
+      copies;
+    }
+
+let grouped (outcome : Engine.outcome) ~classify =
+  let order = ref [] in
+  let groups = Hashtbl.create 8 in
+  Array.iter
+    (fun (r : Engine.record) ->
+      let key = classify r.Engine.message in
+      if not (Hashtbl.mem groups key) then begin
+        Hashtbl.add groups key [];
+        order := key :: !order
+      end;
+      Hashtbl.replace groups key (r :: Hashtbl.find groups key))
+    outcome.Engine.records;
+  List.rev !order
+  |> List.map (fun key ->
+         let records = Array.of_list (List.rev (Hashtbl.find groups key)) in
+         (key, of_records outcome.Engine.algorithm records 0))

@@ -1,0 +1,35 @@
+(** Forwarding performance metrics (§4).
+
+    Success rate [S_A] (fraction of messages for which a path was found)
+    and average delay [D_A] (mean duration of delivered messages) — the
+    two axes of the paper's Fig. 9 — plus the full delay distribution of
+    Fig. 10 and grouped breakdowns for Fig. 13. *)
+
+type t = {
+  algorithm : string;
+  messages : int;
+  delivered : int;
+  success_rate : float;  (** [delivered / messages]; 0 for an empty workload. *)
+  mean_delay : float;  (** Over delivered messages only; [nan] if none. *)
+  median_delay : float;  (** [nan] if none delivered. *)
+  copies : int;  (** Copy transfers — the cost axis the paper leaves open. *)
+}
+
+val of_outcome : Engine.outcome -> t
+
+val delays : Engine.outcome -> float array
+(** Delivery delays of delivered messages, ascending — feed to
+    {!Psn_stats.Cdf.of_samples} for Fig. 10. *)
+
+val average : t list -> t
+(** Combine runs of the same algorithm (multi-seed averaging): message
+    and delivery counts summed, success rate and delays re-derived from
+    the pooled counts (delay fields averaged weighted by deliveries).
+    Raises [Invalid_argument] on an empty list or mixed algorithms. *)
+
+val grouped :
+  Engine.outcome ->
+  classify:(Message.t -> 'key) ->
+  ('key * t) list
+(** Per-group metrics, e.g. [classify] by source-destination pair type
+    for Fig. 13. Groups appear in first-seen order. *)

@@ -1,0 +1,18 @@
+type run_spec = { workload : Workload.spec; seeds : int64 list }
+
+let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
+
+let outcomes ~trace ~spec ~factory =
+  if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
+  List.map
+    (fun seed ->
+      let rng = Psn_prng.Rng.create ~seed () in
+      let messages = Workload.generate ~rng spec.workload in
+      Engine.run ~trace ~messages (factory trace))
+    spec.seeds
+
+let run_algorithm ~trace ~spec ~factory =
+  outcomes ~trace ~spec ~factory |> List.map Metrics.of_outcome |> Metrics.average
+
+let run_many ~trace ~spec ~factories =
+  List.map (fun factory -> run_algorithm ~trace ~spec ~factory) factories

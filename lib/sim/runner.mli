@@ -1,0 +1,38 @@
+(** Multi-seed experiment runner.
+
+    The paper averages every forwarding result over 10 simulation runs;
+    this module regenerates the workload (and optionally the trace) per
+    seed and aggregates. *)
+
+type run_spec = {
+  workload : Workload.spec;
+  seeds : int64 list;  (** One run per seed (paper: 10). *)
+}
+
+val default_seeds : int -> int64 list
+(** [default_seeds k] is a fixed, documented seed sequence of length
+    [k] (1000, 1001, …) so published numbers are reproducible. *)
+
+val run_algorithm :
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factory:Algorithm.factory ->
+  Metrics.t
+(** Run one algorithm over every seed (fresh workload and fresh
+    algorithm state per seed; the trace is shared) and average. *)
+
+val run_many :
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factories:Algorithm.factory list ->
+  Metrics.t list
+(** {!run_algorithm} for each factory, same seeds — so algorithms face
+    identical workloads, as in a paired comparison. *)
+
+val outcomes :
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factory:Algorithm.factory ->
+  Engine.outcome list
+(** The raw per-seed outcomes, for analyses needing full records
+    (Fig. 10 delay distributions, Fig. 13 groupings). *)

@@ -1,0 +1,50 @@
+open Psn_prng
+
+type spec = { rate : float; t_start : float; t_end : float; n_nodes : int }
+
+let paper_spec ~n_nodes = { rate = 0.25; t_start = 0.; t_end = 7200.; n_nodes }
+
+let validate spec =
+  if not (spec.rate > 0.) then Error "rate must be positive"
+  else if not (spec.t_start >= 0. && spec.t_start < spec.t_end) then
+    Error "need 0 <= t_start < t_end"
+  else if spec.n_nodes < 2 then Error "need at least two nodes"
+  else Ok ()
+
+let check spec =
+  match validate spec with Ok () -> () | Error msg -> invalid_arg ("Workload: " ^ msg)
+
+let random_pair rng n =
+  let src = Rng.int rng n in
+  let dst =
+    let r = Rng.int rng (n - 1) in
+    if r >= src then r + 1 else r
+  in
+  (src, dst)
+
+let generate ?rng spec =
+  check spec;
+  let rng = match rng with Some r -> r | None -> Rng.create () in
+  let rec go time id acc =
+    let time = time +. Rng.exponential rng ~rate:spec.rate in
+    if time >= spec.t_end then List.rev acc
+    else begin
+      let src, dst = random_pair rng spec.n_nodes in
+      go time (id + 1) (Message.make ~id ~src ~dst ~t_create:time :: acc)
+    end
+  in
+  go spec.t_start 0 []
+
+let fixed_count ?rng spec ~count =
+  check spec;
+  if count < 0 then invalid_arg "Workload.fixed_count: negative count";
+  let rng = match rng with Some r -> r | None -> Rng.create () in
+  let times =
+    List.init count (fun _ -> Rng.uniform_in rng ~lo:spec.t_start ~hi:spec.t_end)
+    |> List.sort Float.compare
+  in
+  List.mapi
+    (fun id t_create ->
+      let src, dst = random_pair rng spec.n_nodes in
+      Message.make ~id ~src ~dst ~t_create)
+    times

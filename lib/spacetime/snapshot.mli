@@ -1,0 +1,37 @@
+(** Per-step contact snapshots.
+
+    The zero-weight layer of the space-time graph: for every step of the
+    {!Timegrid}, the undirected graph of node pairs that were in contact
+    at some point during that step's interval. This is the structure the
+    path enumerator, the flooding oracle and Fig. 2 all consume. *)
+
+type t
+
+val of_trace : ?delta:float -> Psn_trace.Trace.t -> t
+(** Rasterise a trace onto the grid ([delta] defaults to the paper's
+    10 s). Duplicate edges within a step are merged. *)
+
+val grid : t -> Timegrid.t
+val n_nodes : t -> int
+val n_steps : t -> int
+
+val neighbours : t -> step:int -> Psn_trace.Node.id -> Psn_trace.Node.id list
+(** Direct contacts of a node during the step (no transitive closure).
+    Raises [Invalid_argument] on a bad step or node. *)
+
+val in_contact : t -> step:int -> Psn_trace.Node.id -> Psn_trace.Node.id -> bool
+
+val edges : t -> step:int -> (Psn_trace.Node.id * Psn_trace.Node.id) list
+(** Deduplicated [(a, b)] pairs with [a < b]. *)
+
+val active_steps : t -> int list
+(** Steps that have at least one edge, ascending — lets sparse traces be
+    walked quickly. *)
+
+val component_of : t -> step:int -> Psn_trace.Node.id -> Psn_trace.Node.id list
+(** All nodes reachable from the given node through contact edges within
+    the step (the zero-weight closure), including the node itself. *)
+
+val components : t -> step:int -> Psn_trace.Node.id list list
+(** Partition of the non-isolated nodes of the step into connected
+    components. Isolated nodes are omitted. *)

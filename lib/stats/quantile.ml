@@ -1,0 +1,31 @@
+let interpolate sorted q =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let check_q q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Quantile: q must be in [0, 1]"
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Quantile.quantile: empty sample";
+  check_q q;
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  interpolate sorted q
+
+let quantiles_sorted sorted qs =
+  if Array.length sorted = 0 then invalid_arg "Quantile.quantiles_sorted: empty sample";
+  List.map
+    (fun q ->
+      check_q q;
+      interpolate sorted q)
+    qs
+
+let median xs = quantile xs 0.5
+let percentile xs p = quantile xs (float_of_int p /. 100.)

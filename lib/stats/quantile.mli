@@ -1,0 +1,18 @@
+(** Quantiles of finite samples.
+
+    Linear-interpolation quantiles (type 7, the R default) over a sorted
+    copy of the data. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0, 1\]]. Sorts a copy of [xs]. Raises
+    [Invalid_argument] on an empty array or [q] outside [\[0, 1\]]. *)
+
+val quantiles_sorted : float array -> float list -> float list
+(** [quantiles_sorted sorted qs] evaluates many quantiles over data that
+    is already sorted ascending — avoids re-sorting per quantile. *)
+
+val median : float array -> float
+(** [median xs = quantile xs 0.5]. *)
+
+val percentile : float array -> int -> float
+(** [percentile xs p] with [p] in [\[0, 100\]]. *)

@@ -1,0 +1,21 @@
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. points in
+  let syy = List.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0. points in
+  if sxx = 0. then invalid_arg "Regression.linear: zero variance in x";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0. then Float.nan else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2; n }
+
+let exponential_rate points =
+  let logged = List.filter_map (fun (x, y) -> if y > 0. then Some (x, Float.log y) else None) points in
+  linear logged

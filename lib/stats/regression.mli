@@ -1,0 +1,21 @@
+(** Ordinary least squares on one predictor.
+
+    Used to fit the exponential path-explosion growth: the paper's
+    Fig. 6 shows path counts growing "approximately exponentially", so
+    we regress log(cumulative paths) on time and report the rate. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination, [nan] for degenerate fits. *)
+  n : int;
+}
+
+val linear : (float * float) list -> fit
+(** Least-squares line through [(x, y)] points. Raises
+    [Invalid_argument] with fewer than two points or zero x-variance. *)
+
+val exponential_rate : (float * float) list -> fit
+(** [exponential_rate points] fits [y = A e^{rate x}] by regressing
+    [ln y] on [x]; the returned [slope] is the growth rate and
+    [exp intercept] the prefactor. Points with [y <= 0] are skipped. *)

@@ -1,0 +1,27 @@
+(** Aligned plain-text tables.
+
+    The bench harness prints every reproduced figure as rows; this keeps
+    them readable without pulling in any rendering dependency. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the table out with column widths fitted
+    to content, a separator rule under the header, and two spaces
+    between columns. Ragged rows are padded with empty cells. [align]
+    defaults to [Left] for every column. *)
+
+val render_floats :
+  ?precision:int ->
+  header:string list ->
+  float list list ->
+  string
+(** Numeric convenience: formats every cell with [%.*g] (default
+    precision 4) and right-aligns all columns. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] to stdout, with a trailing newline. *)

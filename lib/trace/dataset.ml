@@ -1,0 +1,58 @@
+type t = { name : string; label : string; config : Generator.config; seed : int64 }
+
+let base = Generator.default
+
+let infocom06_am =
+  {
+    name = "infocom06-9-12";
+    label = "Infocom 06 9AM-12PM";
+    config = base;
+    seed = 0x1F0C_0609L;
+  }
+
+let infocom06_pm =
+  {
+    name = "infocom06-3-6";
+    label = "Infocom 06 3PM-6PM";
+    config =
+      {
+        base with
+        Generator.mean_contacts = 170.;
+        profile = Generator.Dropoff { from_frac = 5. /. 6.; factor = 0.5 };
+      };
+    seed = 0x1F0C_1518L;
+  }
+
+let conext06_am =
+  {
+    name = "conext06-9-12";
+    label = "Conext 06 9AM-12PM";
+    config = { base with Generator.mean_contacts = 105. };
+    seed = 0xC0E_0609L;
+  }
+
+let conext06_pm =
+  {
+    name = "conext06-3-6";
+    label = "Conext 06 3PM-6PM";
+    config =
+      {
+        base with
+        Generator.mean_contacts = 95.;
+        profile = Generator.Dropoff { from_frac = 5. /. 6.; factor = 0.5 };
+      };
+    seed = 0xC0E_1518L;
+  }
+
+let all = [ infocom06_am; infocom06_pm; conext06_am; conext06_pm ]
+
+let find name =
+  match List.find_opt (fun d -> String.equal d.name name) all with
+  | Some d -> Ok d
+  | None ->
+    let names = List.map (fun d -> d.name) all |> String.concat ", " in
+    Error (Printf.sprintf "unknown dataset %S (expected one of: %s)" name names)
+
+let generate ?seed t =
+  let seed = Option.value seed ~default:t.seed in
+  Generator.generate ~rng:(Psn_prng.Rng.create ~seed ()) t.config

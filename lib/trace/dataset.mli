@@ -1,0 +1,30 @@
+(** Dataset presets mirroring the paper's four measurement windows.
+
+    Each preset pairs a generator configuration with a fixed seed, so
+    "Infocom'06 9-12" always denotes the same synthetic trace. Per-node
+    contact-count ranges are calibrated to the paper's Fig. 7 (Infocom
+    spreads to ≈450 contacts per 3 h window, CoNExT to ≈250), and the
+    afternoon windows carry the 5:30-6:00 pm intensity dip visible in
+    Fig. 1 (b) and (d). *)
+
+type t = {
+  name : string;  (** e.g. ["infocom06-9-12"]. *)
+  label : string;  (** Human title, e.g. ["Infocom 06 9AM-12PM"]. *)
+  config : Generator.config;
+  seed : int64;
+}
+
+val infocom06_am : t
+val infocom06_pm : t
+val conext06_am : t
+val conext06_pm : t
+
+val all : t list
+(** The four windows, in the paper's order. *)
+
+val find : string -> (t, string) result
+(** Look a preset up by [name]; the error lists valid names. *)
+
+val generate : ?seed:int64 -> t -> Trace.t
+(** Materialise the trace ([seed] overrides the preset's seed, for
+    multi-run averaging). *)

@@ -1,0 +1,231 @@
+open Psn_prng
+
+type profile = Flat | Dropoff of { from_frac : float; factor : float }
+
+type config = {
+  n_mobile : int;
+  n_stationary : int;
+  horizon : float;
+  mean_contacts : float;
+  sociability_floor : float;
+  n_locations : int;
+  dwell : Dist.t;
+  away_prob : float;
+  duration : Dist.t;
+  profile : profile;
+  scan_interval : float option;
+}
+
+let default =
+  {
+    n_mobile = 78;
+    n_stationary = 20;
+    horizon = 10800.;
+    mean_contacts = 180.;
+    sociability_floor = 0.01;
+    n_locations = 8;
+    dwell = Dist.Truncated { dist = Dist.Exponential { rate = 1. /. 1500. }; lo = 120.; hi = 5400. };
+    away_prob = 0.12;
+    duration = Dist.Truncated { dist = Dist.Exponential { rate = 1. /. 120. }; lo = 10.; hi = 1800. };
+    profile = Flat;
+    scan_interval = None;
+  }
+
+let validate_config cfg =
+  if cfg.n_mobile < 0 || cfg.n_stationary < 0 || cfg.n_mobile + cfg.n_stationary < 2 then
+    Error "need at least two nodes"
+  else if not (cfg.horizon > 0.) then Error "horizon must be positive"
+  else if not (cfg.mean_contacts > 0.) then Error "mean_contacts must be positive"
+  else if not (cfg.sociability_floor >= 0. && cfg.sociability_floor < 1.) then
+    Error "sociability_floor must be in [0, 1)"
+  else if cfg.n_locations < 1 then Error "need at least one location"
+  else if not (cfg.away_prob >= 0. && cfg.away_prob < 1.) then
+    Error "away_prob must be in [0, 1)"
+  else
+    match cfg.profile with
+    | Flat -> Ok ()
+    | Dropoff { from_frac; factor } ->
+      if not (from_frac > 0. && from_frac < 1.) then Error "dropoff from_frac must be in (0, 1)"
+      else if not (factor >= 0. && factor <= 1.) then Error "dropoff factor must be in [0, 1]"
+      else Ok ()
+
+let n_nodes cfg = cfg.n_mobile + cfg.n_stationary
+
+let sociabilities cfg rng =
+  Array.init (n_nodes cfg) (fun i ->
+      if i < cfg.n_mobile then Rng.uniform_in rng ~lo:cfg.sociability_floor ~hi:1.
+      else
+        (* Stationary venue nodes see a steady stream of passers-by, so
+           they sit in the upper sociability range. *)
+        Rng.uniform_in rng ~lo:0.6 ~hi:1.)
+
+(* A node's whereabouts as chronological (location, from, until)
+   segments covering [0, horizon). *)
+type segment = { loc : int; s : float; e : float }
+
+let timeline cfg rng node =
+  if node >= cfg.n_mobile then
+    (* Stationary nodes are pinned; spread them round-robin. *)
+    [ { loc = (node - cfg.n_mobile) mod cfg.n_locations; s = 0.; e = cfg.horizon } ]
+  else if cfg.n_locations = 1 then [ { loc = 0; s = 0.; e = cfg.horizon } ]
+  else begin
+    (* loc = -1 denotes being away from the venue entirely (powered
+       off, stepped out) — no contacts are possible there. *)
+    let rec walk time loc acc =
+      if time >= cfg.horizon then List.rev acc
+      else begin
+        let stay = Float.max 1. (Dist.sample rng cfg.dwell) in
+        let until = Float.min cfg.horizon (time +. stay) in
+        let next =
+          if loc >= 0 && Rng.bernoulli rng cfg.away_prob then -1
+          else if loc < 0 then Rng.int rng cfg.n_locations
+          else if cfg.n_locations = 1 then 0
+          else begin
+            let r = Rng.int rng (cfg.n_locations - 1) in
+            if r >= loc then r + 1 else r
+          end
+        in
+        walk until next ({ loc; s = time; e = until } :: acc)
+      end
+    in
+    walk 0. (Rng.int rng cfg.n_locations) []
+  end
+
+(* Chronological intervals during which two nodes share a location. *)
+let colocation a b =
+  let rec merge xs ys acc =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs', y :: ys' ->
+      let s = Float.max x.s y.s and e = Float.min x.e y.e in
+      let acc = if x.loc = y.loc && x.loc >= 0 && s < e then (s, e) :: acc else acc in
+      if x.e <= y.e then merge xs' ys acc else merge xs ys' acc
+  in
+  merge a b []
+
+let profile_intensity cfg time =
+  match cfg.profile with
+  | Flat -> 1.
+  | Dropoff { from_frac; factor } -> if time < from_frac *. cfg.horizon then 1. else factor
+
+(* Mean of the intensity modulation over an interval. *)
+let profile_mass cfg (s, e) =
+  match cfg.profile with
+  | Flat -> e -. s
+  | Dropoff { from_frac; factor } ->
+    let cut = from_frac *. cfg.horizon in
+    let full = Float.max 0. (Float.min e cut -. s) in
+    let reduced = Float.max 0. (e -. Float.max s cut) in
+    full +. (factor *. reduced)
+
+let quantize_up q time = Float.ceil (time /. q) *. q
+
+type generated = { trace : Trace.t; weights : float array; timelines : segment list array }
+
+let generate_full ?rng cfg =
+  (match validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator.generate: " ^ msg));
+  let rng = match rng with Some r -> r | None -> Rng.create () in
+  let n = n_nodes cfg in
+  let weights = sociabilities cfg rng in
+  let timelines = Array.init n (fun node -> timeline cfg rng node) in
+  (* Two-pass calibration: expected contacts for pair (i, j) are
+     c * w_i * w_j * effective co-location time, so choose c to make the
+     population-mean per-node count hit the target exactly in
+     expectation. *)
+  let n_pairs = n * (n - 1) / 2 in
+  let coloc = Array.make n_pairs [] in
+  let pair_weight = Array.make n_pairs 0. in
+  let pair_exposure = Array.make n_pairs 0. in
+  let pair_index = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let intervals = colocation timelines.(i) timelines.(j) in
+      coloc.(!pair_index) <- intervals;
+      pair_weight.(!pair_index) <- weights.(i) *. weights.(j);
+      pair_exposure.(!pair_index) <-
+        List.fold_left (fun acc iv -> acc +. profile_mass cfg iv) 0. intervals;
+      incr pair_index
+    done
+  done;
+  (* An arrival landing inside an ongoing contact is dropped, so the
+     effective contact count of a pair with arrival rate mu over
+     exposure T is about mu T / (1 + mu d) for mean duration d (renewal
+     occupancy). Solve for the rate constant c (mu = c w_i w_j) that
+     makes the expected population mean hit the target; the total is
+     monotone in c, so bisection converges fast. *)
+  let mean_duration = Float.max 1. (Dist.mean cfg.duration) in
+  let expected_total c =
+    let acc = ref 0. in
+    for p = 0 to n_pairs - 1 do
+      let mu = c *. pair_weight.(p) in
+      if mu > 0. && pair_exposure.(p) > 0. then
+        acc := !acc +. (mu *. pair_exposure.(p) /. (1. +. (mu *. mean_duration)))
+    done;
+    !acc
+  in
+  let target_total = cfg.mean_contacts *. float_of_int n /. 2. in
+  let c =
+    if expected_total 1e-12 >= target_total then 0.
+    else begin
+      let hi = ref 1e-9 in
+      while expected_total !hi < target_total && !hi < 1e6 do
+        hi := !hi *. 2.
+      done;
+      let lo = ref 0. in
+      for _ = 1 to 60 do
+        let mid = (!lo +. !hi) /. 2. in
+        if expected_total mid < target_total then lo := mid else hi := mid
+      done;
+      (!lo +. !hi) /. 2.
+    end
+  in
+  let contacts = ref [] in
+  let pair_index = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let rate = c *. weights.(i) *. weights.(j) in
+      let intervals = coloc.(!pair_index) in
+      incr pair_index;
+      if rate > 0. then
+        List.iter
+          (fun (iv_s, iv_e) ->
+            (* Poisson arrivals in the co-location window, thinned by the
+               intensity profile; contacts are cut short when the pair
+               separates. Arrivals inside the previous contact are
+               dropped. *)
+            let rec arrivals time last_end =
+              let time = time +. Rng.exponential rng ~rate in
+              if time >= iv_e then ()
+              else if not (Rng.bernoulli rng (profile_intensity cfg time)) then
+                arrivals time last_end
+              else begin
+                let t_start =
+                  match cfg.scan_interval with None -> time | Some q -> quantize_up q time
+                in
+                let dur = Float.max 1. (Dist.sample rng cfg.duration) in
+                let t_end =
+                  let e = Float.min (time +. dur) iv_e in
+                  match cfg.scan_interval with None -> e | Some q -> quantize_up q e
+                in
+                let t_end = Float.min t_end cfg.horizon in
+                if t_start < last_end || t_start >= Float.min iv_e cfg.horizon || t_end <= t_start
+                then arrivals time last_end
+                else begin
+                  contacts := Contact.make ~a:i ~b:j ~t_start ~t_end :: !contacts;
+                  arrivals time t_end
+                end
+              end
+            in
+            arrivals iv_s 0.)
+          intervals
+    done
+  done;
+  let kinds =
+    Array.init n (fun i -> if i < cfg.n_mobile then Node.Mobile else Node.Stationary)
+  in
+  let trace = Trace.create ~n_nodes:n ~horizon:cfg.horizon ~kinds !contacts in
+  { trace; weights; timelines }
+
+let generate ?rng cfg = (generate_full ?rng cfg).trace

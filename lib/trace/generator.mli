@@ -1,0 +1,96 @@
+(** Synthetic pocket-switched-network trace generator.
+
+    The paper's iMote traces (Infocom'06, CoNExT'06) are not publicly
+    redistributable, so experiments run on synthetic traces engineered
+    to reproduce the statistical structure the paper measures and then
+    leans on:
+
+    - per-node total contact counts approximately {e uniform} on
+      (0, max) — the Fig. 7 observation that powers all of §5.2;
+    - a {e location model}: the venue has a small number of locations
+      (session rooms, hallway, demo area); mobile nodes move between
+      them with exponential dwell times, stationary nodes are pinned to
+      one; only co-located nodes can be in contact. This fragmentation
+      is what gives the paper's long optimal path durations (Fig. 4a) —
+      a uniformly mixing population would deliver everything within a
+      couple of steps;
+    - pairwise contacts as Poisson processes (while co-located) with
+      rate proportional to the product of endpoint sociabilities, making
+      each node's total contact rate proportional to its sociability
+      draw, with an exact two-pass calibration of the population mean;
+    - exponential-ish contact durations cut short by room changes,
+      optional 120 s Bluetooth inquiry-scan quantisation, and an
+      optional end-of-window intensity drop-off mirroring the
+      5:30-6:00 pm dip in the paper's Fig. 1.
+
+    Everything is driven by an explicit {!Psn_prng.Rng.t}, so a seed
+    fully determines the trace. *)
+
+type profile =
+  | Flat  (** Constant aggregate intensity over the window. *)
+  | Dropoff of { from_frac : float; factor : float }
+      (** Intensity multiplied by [factor] from [from_frac * horizon]
+          onwards; models the end-of-afternoon dip. Requires
+          [0 < from_frac < 1] and [0 <= factor <= 1]. *)
+
+type config = {
+  n_mobile : int;  (** Participant-carried devices. *)
+  n_stationary : int;  (** Venue-fixed devices. *)
+  horizon : float;  (** Window length in seconds (paper: 10800). *)
+  mean_contacts : float;
+      (** Target mean per-node contact count over the window; per-node
+          counts then spread approximately uniformly on (0, 2 * mean). *)
+  sociability_floor : float;
+      (** Lower bound of the mobile sociability draw as a fraction of
+          the maximum (keeps every node reachable; the paper's 'out'
+          nodes with rates "quite close to zero" correspond to a small
+          floor). *)
+  n_locations : int;  (** Venue rooms/areas; must be >= 1. *)
+  dwell : Psn_prng.Dist.t;
+      (** Time a mobile node stays in one location before moving. *)
+  away_prob : float;
+      (** Probability that a mobile node's next move leaves the venue
+          entirely for one dwell period (no contacts while away) —
+          models participants stepping out, as real traces show. *)
+  duration : Psn_prng.Dist.t;  (** Contact-duration distribution. *)
+  profile : profile;
+  scan_interval : float option;
+      (** When [Some q], contact boundaries are quantised up to the next
+          multiple of [q], modelling periodic inquiry scans. *)
+}
+
+val default : config
+(** 78 mobile + 20 stationary nodes, 3 h horizon, mean 180 contacts,
+    8 locations with mean 1500 s dwell, Exp(1/120 s) durations truncated
+    to \[10 s, 1800 s\], flat profile, no scan quantisation. Calibrated
+    so that the Fig. 4 statistics match the paper's shape (≈ a quarter
+    of optimal paths longer than 1000 s, 97% of explosion times within
+    150 s). *)
+
+val validate_config : config -> (unit, string) result
+(** Check parameter sanity without generating. *)
+
+val sociabilities : config -> Psn_prng.Rng.t -> float array
+(** The per-node sociability draw the generator would use (exposed for
+    tests and for the inhomogeneous model): mobile nodes uniform on
+    [\[floor, 1\]], stationary nodes uniform on [\[0.6, 1\]]. Consumes
+    the same stream prefix as {!generate}. *)
+
+val generate : ?rng:Psn_prng.Rng.t -> config -> Trace.t
+(** Generate one trace. Raises [Invalid_argument] if the configuration
+    fails {!validate_config}. Default rng is seeded with 42. *)
+
+type segment = { loc : int;  (** Location index; [-1] = away from the venue. *) s : float; e : float }
+
+type generated = {
+  trace : Trace.t;
+  weights : float array;  (** The sociability draw behind each node's rate. *)
+  timelines : segment list array;  (** Each node's whereabouts over the window. *)
+}
+
+val generate_full : ?rng:Psn_prng.Rng.t -> config -> generated
+(** As {!generate} but also returns the hidden mobility state, for
+    validation (every contact must happen while its endpoints share a
+    location) and for visualisation. [generate] is [generate_full]
+    restricted to the trace; both produce identical traces for the same
+    rng state. *)

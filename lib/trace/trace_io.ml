@@ -1,0 +1,161 @@
+let to_string trace =
+  let buf = Buffer.create (64 * Trace.n_contacts trace) in
+  Buffer.add_string buf "# psn-trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "# nodes %d\n" (Trace.n_nodes trace));
+  Buffer.add_string buf (Printf.sprintf "# horizon %.6g\n" (Trace.horizon trace));
+  Array.iteri
+    (fun i kind ->
+      if Node.equal_kind kind Node.Stationary then
+        Buffer.add_string buf (Printf.sprintf "# kind %d stationary\n" i))
+    (Trace.kinds trace);
+  Trace.iter_contacts trace (fun (c : Contact.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.6g,%.6g\n" c.Contact.a c.Contact.b c.Contact.t_start
+           c.Contact.t_end));
+  Buffer.contents buf
+
+type header = { mutable nodes : int option; mutable horizon : float option }
+
+let parse_line ~lineno header contacts stationary line =
+  let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
+  let line = String.trim line in
+  if line = "" then Ok ()
+  else if String.length line > 0 && line.[0] = '#' then begin
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "#"; "psn-trace"; "v1" ] -> Ok ()
+    | [ "#"; "nodes"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        header.nodes <- Some n;
+        Ok ()
+      | _ -> fail "bad node count %S" n)
+    | [ "#"; "horizon"; h ] -> (
+      match float_of_string_opt h with
+      | Some h when h > 0. ->
+        header.horizon <- Some h;
+        Ok ()
+      | _ -> fail "bad horizon %S" h)
+    | [ "#"; "kind"; id; "stationary" ] -> (
+      match int_of_string_opt id with
+      | Some id when id >= 0 ->
+        stationary := id :: !stationary;
+        Ok ()
+      | _ -> fail "bad kind line")
+    | _ -> Ok ()  (* unknown comments are tolerated *)
+  end
+  else begin
+    match String.split_on_char ',' line with
+    | [ a; b; s; e ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt s, float_of_string_opt e)
+      with
+      | Some a, Some b, Some s, Some e -> (
+        match Contact.make ~a ~b ~t_start:s ~t_end:e with
+        | c ->
+          contacts := c :: !contacts;
+          Ok ()
+        | exception Invalid_argument msg -> fail "invalid contact: %s" msg)
+      | _ -> fail "unparseable contact fields")
+    | _ -> fail "expected a,b,t_start,t_end"
+  end
+
+let of_string text =
+  let header = { nodes = None; horizon = None } in
+  let contacts = ref [] and stationary = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match parse_line ~lineno header contacts stationary line with
+      | Ok () -> go (lineno + 1) rest
+      | Error _ as e -> e)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+    match (header.nodes, header.horizon) with
+    | None, _ -> Error "missing '# nodes' header"
+    | _, None -> Error "missing '# horizon' header"
+    | Some n, Some h -> (
+      let kinds = Array.make n Node.Mobile in
+      match
+        List.iter
+          (fun id ->
+            if id >= n then failwith (Printf.sprintf "stationary node %d out of range" id);
+            kinds.(id) <- Node.Stationary)
+          !stationary
+      with
+      | exception Failure msg -> Error msg
+      | () -> (
+        match Trace.create ~n_nodes:n ~horizon:h ~kinds (List.rev !contacts) with
+        | exception Invalid_argument msg -> Error msg
+        | trace -> (
+          match Trace.validate trace with Ok () -> Ok trace | Error msg -> Error msg))))
+
+let save trace ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string trace))
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let read () =
+      let len = in_channel_length ic in
+      really_input_string ic len
+    in
+    let text = Fun.protect ~finally:(fun () -> close_in ic) read in
+    of_string text
+
+let of_whitespace ?n_nodes text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line (lineno, acc) line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok (lineno + 1, acc)
+    else begin
+      match
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+        |> List.filter (fun s -> s <> "")
+      with
+      | a :: b :: s :: e :: _ -> (
+        match
+          (int_of_string_opt a, int_of_string_opt b, float_of_string_opt s, float_of_string_opt e)
+        with
+        | Some a, Some b, Some s, Some e when a <> b && s < e ->
+          Ok (lineno + 1, (a, b, s, e) :: acc)
+        | _ -> Error (Printf.sprintf "line %d: unparseable contact %S" lineno line))
+      | _ -> Error (Printf.sprintf "line %d: expected 'id1 id2 t_start t_end'" lineno)
+    end
+  in
+  let rec fold state = function
+    | [] -> Ok state
+    | line :: rest -> (
+      match parse_line state line with Ok state -> fold state rest | Error _ as err -> err)
+  in
+  match fold (1, []) lines with
+  | Error msg -> Error msg
+  | Ok (_, []) -> Error "no contacts found"
+  | Ok (_, raw) ->
+    (* Shift 1-based ids down when id 0 never appears. *)
+    let min_id = List.fold_left (fun acc (a, b, _, _) -> Stdlib.min acc (Stdlib.min a b)) max_int raw in
+    let shift = if min_id >= 1 then min_id else 0 in
+    let t0 = List.fold_left (fun acc (_, _, s, _) -> Float.min acc s) Float.infinity raw in
+    let raw = List.map (fun (a, b, s, e) -> (a - shift, b - shift, s -. t0, e -. t0)) raw in
+    let max_id = List.fold_left (fun acc (a, b, _, _) -> Stdlib.max acc (Stdlib.max a b)) 0 raw in
+    let horizon = List.fold_left (fun acc (_, _, _, e) -> Float.max acc e) 0. raw in
+    let n = match n_nodes with Some n -> n | None -> max_id + 1 in
+    (match
+       List.map (fun (a, b, t_start, t_end) -> Contact.make ~a ~b ~t_start ~t_end) raw
+     with
+    | exception Invalid_argument msg -> Error msg
+    | contacts -> (
+      match Trace.create ~n_nodes:n ~horizon contacts with
+      | exception Invalid_argument msg -> Error msg
+      | trace -> Ok trace))
+
+let load_whitespace ?n_nodes path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let read () = really_input_string ic (in_channel_length ic) in
+    let text = Fun.protect ~finally:(fun () -> close_in ic) read in
+    of_whitespace ?n_nodes text

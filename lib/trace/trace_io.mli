@@ -1,0 +1,40 @@
+(** Trace serialisation.
+
+    A plain-text format close to what iMote post-processing pipelines
+    emit, so externally collected traces can be dropped in:
+
+    {v
+    # psn-trace v1
+    # nodes 98
+    # horizon 10800
+    # kind 3 stationary          (one line per non-mobile node)
+    a,b,t_start,t_end            (one line per contact, seconds)
+    v} *)
+
+val to_string : Trace.t -> string
+(** Serialise. *)
+
+val of_string : string -> (Trace.t, string) result
+(** Parse; [Error] carries a line-numbered message. The result is
+    validated with {!Trace.validate}. *)
+
+val save : Trace.t -> path:string -> unit
+(** Write to a file. Raises [Sys_error] on I/O failure. *)
+
+val load : path:string -> (Trace.t, string) result
+(** Read from a file; I/O failures are folded into [Error]. *)
+
+val of_whitespace : ?n_nodes:int -> string -> (Trace.t, string) result
+(** Parse the whitespace-separated format used by most published
+    contact-trace releases (CRAWDAD/Haggle post-processing):
+
+    {v id1  id2  t_start  t_end v}
+
+    one contact per line, [#]-comments and blank lines ignored. Node
+    ids may start at 0 or 1 (1-based inputs are shifted down when no id
+    0 appears); [n_nodes] defaults to the largest id seen + 1, the
+    horizon to the largest contact end. Timestamps are re-based so the
+    earliest contact starts at 0. *)
+
+val load_whitespace : ?n_nodes:int -> string -> (Trace.t, string) result
+(** [load_whitespace path]: {!of_whitespace} from a file. *)

@@ -1,0 +1,452 @@
+(* Tests for the psn_sim library: workload generation, the event-driven
+   engine's exchange/cascade semantics, metrics, and the multi-seed
+   runner. *)
+
+module Contact = Core.Contact
+module Trace = Core.Trace
+module Message = Core.Message
+module Workload = Core.Workload
+module Algorithm = Core.Algorithm
+module Engine = Core.Engine
+module Metrics = Core.Metrics
+module Runner = Core.Runner
+module Rng = Core.Rng
+
+let feps = Alcotest.float 1e-9
+
+let epidemic = Algorithm.stateless ~name:"Epidemic" (fun _ -> true)
+let never = Algorithm.stateless ~name:"Never" (fun _ -> false)
+
+let msg ?(id = 0) ~src ~dst t_create = Message.make ~id ~src ~dst ~t_create
+
+(* --- Message / Workload --- *)
+
+let test_message_validation () =
+  Alcotest.check_raises "src=dst" (Invalid_argument "Message.make: src = dst") (fun () ->
+      ignore (msg ~src:1 ~dst:1 0.))
+
+let test_workload_poisson () =
+  let spec = { Workload.rate = 0.5; t_start = 0.; t_end = 2000.; n_nodes = 20 } in
+  let msgs = Workload.generate ~rng:(Rng.create ~seed:1L ()) spec in
+  let n = List.length msgs in
+  (* ~1000 expected; allow generous slack *)
+  Alcotest.(check bool) (Printf.sprintf "count %d near 1000" n) true (n > 850 && n < 1150);
+  let rec sorted = function
+    | (a : Message.t) :: (b :: _ as rest) -> a.Message.t_create <= b.Message.t_create && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (sorted msgs);
+  List.iteri (fun i (m : Message.t) -> Alcotest.(check int) "dense ids" i m.Message.id) msgs;
+  List.iter
+    (fun (m : Message.t) ->
+      if m.Message.src = m.Message.dst then Alcotest.fail "self message";
+      if m.Message.t_create < 0. || m.Message.t_create >= 2000. then
+        Alcotest.fail "creation outside window")
+    msgs
+
+let test_workload_paper_spec () =
+  let spec = Workload.paper_spec ~n_nodes:98 in
+  Alcotest.check feps "rate" 0.25 spec.Workload.rate;
+  Alcotest.check feps "window" 7200. spec.Workload.t_end
+
+let test_workload_fixed_count () =
+  let spec = { Workload.rate = 0.25; t_start = 100.; t_end = 200.; n_nodes = 5 } in
+  let msgs = Workload.fixed_count ~rng:(Rng.create ~seed:2L ()) spec ~count:17 in
+  Alcotest.(check int) "count" 17 (List.length msgs);
+  List.iter
+    (fun (m : Message.t) ->
+      if m.Message.t_create < 100. || m.Message.t_create >= 200. then Alcotest.fail "outside window")
+    msgs
+
+let test_workload_validation () =
+  match Workload.validate { Workload.rate = 0.; t_start = 0.; t_end = 1.; n_nodes = 5 } with
+  | Ok () -> Alcotest.fail "accepted zero rate"
+  | Error _ -> ()
+
+(* --- Engine semantics --- *)
+
+let test_direct_delivery_at_contact_start () =
+  (* Message exists before the contact; delivery at contact start. *)
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:30. ~t_end:40. ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 10. ] never in
+  Alcotest.(check (option (float 1e-9))) "delivered at 30" (Some 30.)
+    outcome.Engine.records.(0).Engine.delivered;
+  Alcotest.(check (option (float 1e-9))) "delay" (Some 20.) (Engine.delay outcome.Engine.records.(0))
+
+let test_delivery_on_creation_mid_contact () =
+  (* Contact already active when the message is created: instant delivery. *)
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:60. ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 30. ] never in
+  Alcotest.(check (option (float 1e-9))) "instant" (Some 30.)
+    outcome.Engine.records.(0).Engine.delivered
+
+let test_no_delivery_after_contact_ends () =
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20. ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 50. ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "undelivered" None
+    outcome.Engine.records.(0).Engine.delivered
+
+let test_relay_chain_over_time () =
+  (* 0-1 then later 1-2: epidemic relays; Never does not. *)
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20.;
+        Contact.make ~a:1 ~b:2 ~t_start:50. ~t_end:60.;
+      ]
+  in
+  let m = msg ~src:0 ~dst:2 0. in
+  let flooded = Engine.run ~trace ~messages:[ m ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "epidemic relays" (Some 50.)
+    flooded.Engine.records.(0).Engine.delivered;
+  Alcotest.(check int) "one copy made" 1 flooded.Engine.copies;
+  let direct = Engine.run ~trace ~messages:[ m ] never in
+  Alcotest.(check (option (float 1e-9))) "direct fails" None
+    direct.Engine.records.(0).Engine.delivered
+
+let test_cascade_through_active_contacts () =
+  (* 0-1 and 1-2 both active when 0-1 starts: the copy cascades to 2
+     within the same instant. *)
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:1 ~b:2 ~t_start:5. ~t_end:50.;
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:40.;
+      ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:2 0. ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "cascaded" (Some 10.)
+    outcome.Engine.records.(0).Engine.delivered
+
+let test_cascade_on_creation () =
+  (* Message created while 0-1 and 1-2 are active: immediate multi-hop. *)
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:50.;
+        Contact.make ~a:1 ~b:2 ~t_start:6. ~t_end:50.;
+      ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:2 20. ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "instant two-hop" (Some 20.)
+    outcome.Engine.records.(0).Engine.delivered
+
+let test_contact_end_blocks_exchange () =
+  (* 1-2 ends before 0-1 begins: no cascade possible. *)
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:1 ~b:2 ~t_start:5. ~t_end:9.;
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:40.;
+      ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:2 0. ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "no path" None outcome.Engine.records.(0).Engine.delivered
+
+let test_minimal_progress_overrides_algorithm () =
+  (* Never forwards, but a holder in contact with the destination still
+     delivers (engine-enforced minimal progress). *)
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20. ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 0. ] never in
+  Alcotest.(check bool) "delivered" true (outcome.Engine.records.(0).Engine.delivered <> None)
+
+let test_engine_validation () =
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20. ]
+  in
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Engine.run: message endpoint outside population") (fun () ->
+      ignore (Engine.run ~trace ~messages:[ msg ~src:0 ~dst:7 0. ] never));
+  Alcotest.check_raises "duplicate ids" (Invalid_argument "Engine.run: duplicate message id")
+    (fun () ->
+      ignore
+        (Engine.run ~trace
+           ~messages:[ msg ~id:0 ~src:0 ~dst:1 0.; msg ~id:0 ~src:1 ~dst:0 0. ]
+           never))
+
+let test_observe_contact_called () =
+  let seen = ref [] in
+  let spy =
+    {
+      (Algorithm.stateless ~name:"spy" (fun _ -> false)) with
+      Algorithm.observe_contact = (fun ~time ~a ~b -> seen := (time, a, b) :: !seen);
+    }
+  in
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20.;
+        Contact.make ~a:1 ~b:2 ~t_start:30. ~t_end:40.;
+      ]
+  in
+  ignore (Engine.run ~trace ~messages:[] spy);
+  Alcotest.(check int) "two observations" 2 (List.length !seen)
+
+(* Epidemic simulation is the continuous-time reference; the space-time
+   flooding oracle discretises at 10 s, which can both delay it (the
+   grid starts propagating one step after creation, contacts wholly
+   inside the creation step are lost) and advance it (contacts disjoint
+   in time but sharing a step chain as if concurrent). So individual
+   deliveries may differ; the aggregate distribution must stay close. *)
+let test_epidemic_matches_flood_oracle () =
+  let rng = Rng.create ~seed:77L () in
+  let agree = ref 0 and total = ref 0 and close = ref 0 and both = ref 0 in
+  for _ = 1 to 40 do
+    let n_nodes = 8 + Rng.int rng 6 in
+    let contacts =
+      List.init (40 + Rng.int rng 40) (fun _ ->
+          let a = Rng.int rng n_nodes in
+          let b = (a + 1 + Rng.int rng (n_nodes - 1)) mod n_nodes in
+          let s = Rng.float rng 500. in
+          Contact.make ~a ~b ~t_start:s ~t_end:(s +. 5. +. Rng.float rng 50.))
+    in
+    let trace = Trace.create ~n_nodes ~horizon:600. contacts in
+    let src = Rng.int rng n_nodes in
+    let dst = (src + 1 + Rng.int rng (n_nodes - 1)) mod n_nodes in
+    let t_create = Rng.float rng 300. in
+    let outcome = Engine.run ~trace ~messages:[ msg ~src ~dst t_create ] epidemic in
+    let snap = Core.Snapshot.of_trace trace in
+    let flood = Core.Reachability.flood snap ~src ~t_create in
+    incr total;
+    match (outcome.Engine.records.(0).Engine.delivered, Core.Reachability.arrival_time flood dst)
+    with
+    | None, None -> incr agree
+    | Some sim, Some oracle ->
+      incr agree;
+      incr both;
+      if Float.abs (sim -. oracle) <= 20. then incr close
+    | Some _, None | None, Some _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "deliverability agreement %d/%d" !agree !total)
+    true
+    (!agree >= !total * 9 / 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "close deliveries %d/%d" !close !both)
+    true
+    (!both > 10 && !close >= !both * 8 / 10)
+
+(* Overlapping duplicate contacts between one pair must not confuse the
+   active-contact bookkeeping: the pair stays connected until the last
+   interval ends. *)
+let test_overlapping_same_pair_contacts () =
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:50.;
+        Contact.make ~a:0 ~b:1 ~t_start:20. ~t_end:30.;
+        (* 1-2 opens while 0-1's first interval is still live but after
+           its duplicate closed: the relay must still cascade *)
+        Contact.make ~a:1 ~b:2 ~t_start:40. ~t_end:45.;
+      ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:2 35. ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "cascade despite duplicate" (Some 40.)
+    outcome.Engine.records.(0).Engine.delivered
+
+(* Replication monotonicity: with the same workload, forwarding more
+   aggressively never delivers fewer messages. *)
+let test_replication_monotone () =
+  let trace =
+    Core.Generator.generate
+      ~rng:(Rng.create ~seed:55L ())
+      {
+        Core.Generator.default with
+        Core.Generator.n_mobile = 25;
+        n_stationary = 5;
+        horizon = 2400.;
+        mean_contacts = 40.;
+      }
+  in
+  let messages =
+    Workload.fixed_count
+      ~rng:(Rng.create ~seed:56L ())
+      { Workload.rate = 0.1; t_start = 0.; t_end = 1600.; n_nodes = 30 }
+      ~count:60
+  in
+  let delivered p =
+    let algo =
+      if p >= 1. then epidemic
+      else begin
+        (* deterministic thinning: forward iff hash of (msg, holder,
+           peer) falls below p — monotone in p by construction *)
+        let accept ctx =
+          let h =
+            Hashtbl.hash
+              ( ctx.Algorithm.message.Message.id,
+                ctx.Algorithm.holder,
+                ctx.Algorithm.peer )
+          in
+          float_of_int (h land 0xFFFF) /. 65536. < p
+        in
+        Algorithm.stateless ~name:"thinned" accept
+      end
+    in
+    let outcome = Engine.run ~trace ~messages algo in
+    (Metrics.of_outcome outcome).Metrics.delivered
+  in
+  let d25 = delivered 0.25 and d75 = delivered 0.75 and d100 = delivered 1. in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone %d <= %d <= %d" d25 d75 d100)
+    true
+    (d25 <= d75 && d75 <= d100)
+
+(* --- TTL --- *)
+
+let test_ttl_blocks_late_delivery () =
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:50. ~t_end:60. ]
+  in
+  let m = msg ~src:0 ~dst:1 10. in
+  let fresh = Engine.run ~ttl:100. ~trace ~messages:[ m ] epidemic in
+  Alcotest.(check bool) "within ttl delivers" true
+    (fresh.Engine.records.(0).Engine.delivered <> None);
+  let stale = Engine.run ~ttl:20. ~trace ~messages:[ m ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "expired undelivered" None
+    stale.Engine.records.(0).Engine.delivered
+
+let test_ttl_blocks_relaying () =
+  let trace =
+    Trace.create ~n_nodes:3 ~horizon:200.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:50. ~t_end:60.;
+        Contact.make ~a:1 ~b:2 ~t_start:100. ~t_end:110.;
+      ]
+  in
+  let m = msg ~src:0 ~dst:2 0. in
+  let ok = Engine.run ~ttl:150. ~trace ~messages:[ m ] epidemic in
+  Alcotest.(check bool) "long ttl relays" true (ok.Engine.records.(0).Engine.delivered <> None);
+  (* the relay contact at t=100 falls past the 80 s lifetime *)
+  let cut = Engine.run ~ttl:80. ~trace ~messages:[ m ] epidemic in
+  Alcotest.(check (option (float 1e-9))) "short ttl blocks the second hop" None
+    cut.Engine.records.(0).Engine.delivered
+
+let test_ttl_validation () =
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:50. ~t_end:60. ]
+  in
+  Alcotest.check_raises "non-positive ttl" (Invalid_argument "Engine.run: ttl must be positive")
+    (fun () -> ignore (Engine.run ~ttl:0. ~trace ~messages:[] epidemic))
+
+(* --- Metrics --- *)
+
+let fixture_outcome () =
+  let trace =
+    Trace.create ~n_nodes:4 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20.;
+        Contact.make ~a:2 ~b:3 ~t_start:50. ~t_end:60.;
+      ]
+  in
+  let messages =
+    [ msg ~id:0 ~src:0 ~dst:1 0.; msg ~id:1 ~src:2 ~dst:3 10.; msg ~id:2 ~src:0 ~dst:3 0. ]
+  in
+  Engine.run ~trace ~messages epidemic
+
+let test_metrics_of_outcome () =
+  let m = Metrics.of_outcome (fixture_outcome ()) in
+  Alcotest.(check int) "messages" 3 m.Metrics.messages;
+  Alcotest.(check int) "delivered" 2 m.Metrics.delivered;
+  Alcotest.(check (float 1e-9)) "success" (2. /. 3.) m.Metrics.success_rate;
+  (* delays: 10 (msg0) and 40 (msg1) *)
+  Alcotest.check feps "mean delay" 25. m.Metrics.mean_delay;
+  Alcotest.check feps "median delay" 25. m.Metrics.median_delay
+
+let test_metrics_delays_sorted () =
+  let d = Metrics.delays (fixture_outcome ()) in
+  Alcotest.(check (array (float 1e-9))) "sorted delays" [| 10.; 40. |] d
+
+let test_metrics_average () =
+  let m = Metrics.of_outcome (fixture_outcome ()) in
+  let avg = Metrics.average [ m; m ] in
+  Alcotest.(check int) "messages pooled" 6 avg.Metrics.messages;
+  Alcotest.check feps "success stable" m.Metrics.success_rate avg.Metrics.success_rate;
+  Alcotest.check feps "mean stable" m.Metrics.mean_delay avg.Metrics.mean_delay
+
+let test_metrics_grouped () =
+  let groups =
+    Metrics.grouped (fixture_outcome ()) ~classify:(fun (m : Message.t) -> m.Message.src)
+  in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  let src0 = List.assoc 0 groups in
+  Alcotest.(check int) "src 0 msgs" 2 src0.Metrics.messages;
+  Alcotest.(check int) "src 0 delivered" 1 src0.Metrics.delivered
+
+(* --- Runner --- *)
+
+let test_runner_deterministic () =
+  let trace =
+    Trace.create ~n_nodes:6 ~horizon:1000.
+      (List.init 30 (fun i ->
+           let a = i mod 6 and b = (i + 1) mod 6 in
+           Contact.make ~a ~b ~t_start:(float_of_int (i * 30)) ~t_end:(float_of_int ((i * 30) + 20))))
+  in
+  let spec =
+    {
+      Runner.workload = { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 };
+      seeds = Runner.default_seeds 2;
+    }
+  in
+  let factory _ = epidemic in
+  let a = Runner.run_algorithm ~trace ~spec ~factory in
+  let b = Runner.run_algorithm ~trace ~spec ~factory in
+  Alcotest.check feps "same success" a.Metrics.success_rate b.Metrics.success_rate;
+  Alcotest.(check int) "two outcomes" 2 (List.length (Runner.outcomes ~trace ~spec ~factory))
+
+let () =
+  Alcotest.run "psn_sim"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "message validation" `Quick test_message_validation;
+          Alcotest.test_case "poisson generation" `Quick test_workload_poisson;
+          Alcotest.test_case "paper spec" `Quick test_workload_paper_spec;
+          Alcotest.test_case "fixed count" `Quick test_workload_fixed_count;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery at contact start" `Quick test_direct_delivery_at_contact_start;
+          Alcotest.test_case "delivery on creation mid-contact" `Quick
+            test_delivery_on_creation_mid_contact;
+          Alcotest.test_case "no delivery after contact" `Quick test_no_delivery_after_contact_ends;
+          Alcotest.test_case "relay chain over time" `Quick test_relay_chain_over_time;
+          Alcotest.test_case "cascade through active contacts" `Quick
+            test_cascade_through_active_contacts;
+          Alcotest.test_case "cascade on creation" `Quick test_cascade_on_creation;
+          Alcotest.test_case "contact end blocks exchange" `Quick test_contact_end_blocks_exchange;
+          Alcotest.test_case "minimal progress" `Quick test_minimal_progress_overrides_algorithm;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "observe_contact" `Quick test_observe_contact_called;
+          Alcotest.test_case "epidemic matches oracle" `Slow test_epidemic_matches_flood_oracle;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "overlapping same-pair contacts" `Quick
+            test_overlapping_same_pair_contacts;
+        ] );
+      ( "monotonicity",
+        [ Alcotest.test_case "replication monotone" `Quick test_replication_monotone ] );
+      ( "ttl",
+        [
+          Alcotest.test_case "blocks late delivery" `Quick test_ttl_blocks_late_delivery;
+          Alcotest.test_case "blocks relaying" `Quick test_ttl_blocks_relaying;
+          Alcotest.test_case "validation" `Quick test_ttl_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
+          Alcotest.test_case "delays sorted" `Quick test_metrics_delays_sorted;
+          Alcotest.test_case "average" `Quick test_metrics_average;
+          Alcotest.test_case "grouped" `Quick test_metrics_grouped;
+        ] );
+      ("runner", [ Alcotest.test_case "deterministic" `Quick test_runner_deterministic ]);
+    ]

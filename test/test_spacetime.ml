@@ -1,0 +1,296 @@
+(* Tests for the psn_spacetime library: the time grid, per-step contact
+   snapshots, the formal space-time graph, and epidemic flooding. *)
+
+module Contact = Core.Contact
+module Trace = Core.Trace
+module Timegrid = Core.Timegrid
+module Snapshot = Core.Snapshot
+module Stgraph = Core.Stgraph
+module Reachability = Core.Reachability
+
+let feps = Alcotest.float 1e-9
+
+(* --- Timegrid --- *)
+
+let test_grid_basics () =
+  let g = Timegrid.create ~horizon:100. () in
+  Alcotest.check feps "delta default" 10. (Timegrid.delta g);
+  Alcotest.(check int) "steps" 10 (Timegrid.n_steps g);
+  Alcotest.(check int) "step of 0" 1 (Timegrid.step_of_time g 0.);
+  Alcotest.(check int) "step of 9.99" 1 (Timegrid.step_of_time g 9.99);
+  Alcotest.(check int) "step of 10" 2 (Timegrid.step_of_time g 10.);
+  Alcotest.(check int) "step of 99.9" 10 (Timegrid.step_of_time g 99.9);
+  Alcotest.check feps "time of step" 30. (Timegrid.time_of_step g 3)
+
+let test_grid_intervals () =
+  let g = Timegrid.create ~delta:5. ~horizon:20. () in
+  let lo, hi = Timegrid.interval_of_step g 2 in
+  Alcotest.check feps "lo" 5. lo;
+  Alcotest.check feps "hi" 10. hi
+
+let test_grid_overlap () =
+  let g = Timegrid.create ~horizon:100. () in
+  let first, last = Timegrid.steps_overlapping g ~t_start:12. ~t_end:31. in
+  (* [12, 31) intersects steps 2 (10-20), 3 (20-30), 4 (30-40) *)
+  Alcotest.(check int) "first" 2 first;
+  Alcotest.(check int) "last" 4 last;
+  let first, last = Timegrid.steps_overlapping g ~t_start:10. ~t_end:20. in
+  Alcotest.(check int) "exact bin first" 2 first;
+  Alcotest.(check int) "exact bin last" 2 last
+
+let test_grid_errors () =
+  let g = Timegrid.create ~horizon:100. () in
+  Alcotest.check_raises "time past horizon"
+    (Invalid_argument "Timegrid.step_of_time: outside horizon") (fun () ->
+      ignore (Timegrid.step_of_time g 100.));
+  Alcotest.check_raises "step 0" (Invalid_argument "Timegrid: step out of range") (fun () ->
+      ignore (Timegrid.time_of_step g 0))
+
+(* --- Snapshot --- *)
+
+(* Nodes 0-1 touch in step 1; 0-1, 1-2, 2-3 in step 2; nothing later. *)
+let sample_trace () =
+  Trace.create ~n_nodes:5 ~horizon:50.
+    [
+      Contact.make ~a:0 ~b:1 ~t_start:2. ~t_end:8.;
+      Contact.make ~a:0 ~b:1 ~t_start:12. ~t_end:18.;
+      Contact.make ~a:1 ~b:2 ~t_start:13. ~t_end:19.;
+      Contact.make ~a:2 ~b:3 ~t_start:11. ~t_end:14.;
+    ]
+
+let test_snapshot_neighbours () =
+  let snap = Snapshot.of_trace (sample_trace ()) in
+  Alcotest.(check (list int)) "step1 n0" [ 1 ] (Snapshot.neighbours snap ~step:1 0);
+  Alcotest.(check (list int)) "step2 n1" [ 0; 2 ] (Snapshot.neighbours snap ~step:2 1);
+  Alcotest.(check (list int)) "step3 empty" [] (Snapshot.neighbours snap ~step:3 1);
+  Alcotest.(check bool) "in_contact" true (Snapshot.in_contact snap ~step:2 2 3);
+  Alcotest.(check bool) "not in contact" false (Snapshot.in_contact snap ~step:1 2 3)
+
+let test_snapshot_edges_dedup () =
+  (* Two contacts of the same pair within one step produce one edge. *)
+  let t =
+    Trace.create ~n_nodes:2 ~horizon:20.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:1. ~t_end:3.;
+        Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:7.;
+      ]
+  in
+  let snap = Snapshot.of_trace t in
+  Alcotest.(check (list (pair int int))) "single edge" [ (0, 1) ] (Snapshot.edges snap ~step:1)
+
+let test_snapshot_active_steps () =
+  let snap = Snapshot.of_trace (sample_trace ()) in
+  Alcotest.(check (list int)) "active" [ 1; 2 ] (Snapshot.active_steps snap)
+
+let test_snapshot_components () =
+  let snap = Snapshot.of_trace (sample_trace ()) in
+  let comps = Snapshot.components snap ~step:2 in
+  Alcotest.(check int) "one component" 1 (List.length comps);
+  Alcotest.(check (list int)) "chain closure" [ 0; 1; 2; 3 ] (List.hd comps);
+  Alcotest.(check (list int)) "component_of node 3" [ 0; 1; 2; 3 ]
+    (Snapshot.component_of snap ~step:2 3);
+  Alcotest.(check (list int)) "isolated node" [ 4 ] (Snapshot.component_of snap ~step:2 4)
+
+let test_snapshot_contact_spanning_steps () =
+  let t =
+    Trace.create ~n_nodes:2 ~horizon:50. [ Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:25. ]
+  in
+  let snap = Snapshot.of_trace t in
+  Alcotest.(check (list int)) "spans steps 1-3" [ 1; 2; 3 ] (Snapshot.active_steps snap)
+
+(* --- Stgraph --- *)
+
+let test_graph_successors () =
+  let graph = Stgraph.of_trace (sample_trace ()) in
+  let succ = Stgraph.successors graph { Stgraph.node = 1; step = 2 } in
+  let contacts = List.filter (fun e -> Stgraph.weight e = 0) succ in
+  let waits = List.filter (fun e -> Stgraph.weight e = 1) succ in
+  Alcotest.(check int) "two contact edges" 2 (List.length contacts);
+  Alcotest.(check int) "one wait edge" 1 (List.length waits)
+
+let test_graph_no_wait_at_last_step () =
+  let graph = Stgraph.of_trace (sample_trace ()) in
+  let succ = Stgraph.successors graph { Stgraph.node = 0; step = 5 } in
+  Alcotest.(check int) "no edges at last step" 0 (List.length succ)
+
+let test_graph_counts () =
+  let graph = Stgraph.of_trace (sample_trace ()) in
+  Alcotest.(check int) "vertices" 25 (Stgraph.n_vertices graph);
+  (* contact edges: step1 has 1 pair, step2 has 3 pairs -> 8 directed;
+     wait edges: 5 nodes x 4 transitions. *)
+  Alcotest.(check int) "edges" 28 (Stgraph.edge_count graph)
+
+let test_graph_render () =
+  let graph = Stgraph.of_trace (sample_trace ()) in
+  let text = Format.asprintf "%a" Stgraph.pp graph in
+  let contains sub =
+    let slen = String.length text and sublen = String.length sub in
+    let rec scan i = i + sublen <= slen && (String.sub text i sublen = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "mentions t=1" true (contains "t=1");
+  Alcotest.(check bool) "edge 2-3 shown" true (contains "2-3")
+
+(* --- Reachability --- *)
+
+let test_flood_direct () =
+  (* Message created at t=0 (step 1); contact 0-1 lives through step 2,
+     so delivery happens at step 2 = 20 s. *)
+  let t =
+    Trace.create ~n_nodes:3 ~horizon:50. [ Contact.make ~a:0 ~b:1 ~t_start:2. ~t_end:18. ]
+  in
+  let snap = Snapshot.of_trace t in
+  let fl = Reachability.flood snap ~src:0 ~t_create:0. in
+  Alcotest.(check (option int)) "arrival step" (Some 2) (Reachability.arrival_step fl 1);
+  Alcotest.check feps "delay" 20. (Option.get (Reachability.delivery_delay fl ~dst:1));
+  Alcotest.(check (option int)) "unreached" None (Reachability.arrival_step fl 2);
+  Alcotest.(check int) "reached" 2 (Reachability.reached fl)
+
+let test_flood_multihop_chain () =
+  (* 0-1 at step 2, 1-2 at step 4: two-hop relay over time. *)
+  let t =
+    Trace.create ~n_nodes:3 ~horizon:60.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:11. ~t_end:19.;
+        Contact.make ~a:1 ~b:2 ~t_start:31. ~t_end:39.;
+      ]
+  in
+  let snap = Snapshot.of_trace t in
+  let fl = Reachability.flood snap ~src:0 ~t_create:0. in
+  Alcotest.(check (option int)) "relay arrival" (Some 4) (Reachability.arrival_step fl 2)
+
+let test_flood_same_step_chain () =
+  (* 0-1 and 1-2 overlap in the same step: zero-weight chain. *)
+  let t =
+    Trace.create ~n_nodes:3 ~horizon:60.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:11. ~t_end:19.;
+        Contact.make ~a:1 ~b:2 ~t_start:12. ~t_end:18.;
+      ]
+  in
+  let snap = Snapshot.of_trace t in
+  let fl = Reachability.flood snap ~src:0 ~t_create:0. in
+  Alcotest.(check (option int)) "chain in one step" (Some 2) (Reachability.arrival_step fl 2)
+
+let test_flood_ignores_past_contacts () =
+  (* The only contact ends before the message exists: no delivery. *)
+  let t =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:15. ]
+  in
+  let snap = Snapshot.of_trace t in
+  let fl = Reachability.flood snap ~src:0 ~t_create:40. in
+  Alcotest.(check (option int)) "no arrival" None (Reachability.arrival_step fl 1)
+
+let test_flood_source_arrival () =
+  let t =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:15. ]
+  in
+  let snap = Snapshot.of_trace t in
+  let fl = Reachability.flood snap ~src:0 ~t_create:42. in
+  Alcotest.(check (option int)) "source holds from creation step" (Some 5)
+    (Reachability.arrival_step fl 0)
+
+let test_reachability_ratio () =
+  (* Contacts are bidirectional: from t=0, 0 reaches {1,2}, 1 reaches
+     {0,2}, 2 reaches {1} (the 0-1 contact is already past when 2's
+     copy arrives at 1) -> 5 of 6 ordered pairs. *)
+  let t =
+    Trace.create ~n_nodes:3 ~horizon:60.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:11. ~t_end:19.;
+        Contact.make ~a:1 ~b:2 ~t_start:31. ~t_end:39.;
+      ]
+  in
+  let snap = Snapshot.of_trace t in
+  Alcotest.check feps "ratio" (5. /. 6.) (Reachability.reachability_ratio snap ~t_create:0.);
+  (* after both contacts have passed, nothing is reachable *)
+  Alcotest.check feps "late ratio" 0. (Reachability.reachability_ratio snap ~t_create:45.)
+
+(* --- qcheck properties --- *)
+
+let qcheck_tests =
+  let open QCheck2 in
+  let gen_trace =
+    Gen.(
+      let* n_nodes = int_range 2 10 in
+      let* n_contacts = int_range 1 30 in
+      let* raw =
+        list_repeat n_contacts
+          (triple (int_range 0 (n_nodes - 1)) (int_range 0 (n_nodes - 1))
+             (pair (float_range 0. 90.) (float_range 0.5 30.)))
+      in
+      let contacts =
+        List.filter_map
+          (fun (a, b, (s, d)) ->
+            if a = b then None else Some (Contact.make ~a ~b ~t_start:s ~t_end:(s +. d)))
+          raw
+      in
+      return (Trace.create ~n_nodes ~horizon:120. contacts))
+  in
+  [
+    Test.make ~name:"components partition non-isolated nodes" ~count:100 gen_trace (fun t ->
+        let snap = Snapshot.of_trace t in
+        List.for_all
+          (fun step ->
+            let comps = Snapshot.components snap ~step in
+            let all = List.concat comps in
+            List.length all = List.length (List.sort_uniq Int.compare all)
+            && List.for_all (fun comp -> List.length comp >= 2) comps)
+          (Snapshot.active_steps snap));
+    Test.make ~name:"snapshot adjacency is symmetric" ~count:100 gen_trace (fun t ->
+        let snap = Snapshot.of_trace t in
+        List.for_all
+          (fun step ->
+            List.for_all
+              (fun (a, b) ->
+                Snapshot.in_contact snap ~step a b && Snapshot.in_contact snap ~step b a)
+              (Snapshot.edges snap ~step))
+          (Snapshot.active_steps snap));
+    Test.make ~name:"flood reaches a superset over later creation times" ~count:60 gen_trace
+      (fun t ->
+        let snap = Snapshot.of_trace t in
+        (* A later start sees only a subset of the contact events, and
+           the early flood already holds the message wherever the late
+           one begins, so late can never reach more nodes. *)
+        let early = Reachability.flood snap ~src:0 ~t_create:0. in
+        let late = Reachability.flood snap ~src:0 ~t_create:60. in
+        Reachability.reached late <= Reachability.reached early);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "psn_spacetime"
+    [
+      ( "timegrid",
+        [
+          Alcotest.test_case "basics" `Quick test_grid_basics;
+          Alcotest.test_case "intervals" `Quick test_grid_intervals;
+          Alcotest.test_case "overlap ranges" `Quick test_grid_overlap;
+          Alcotest.test_case "errors" `Quick test_grid_errors;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "neighbours" `Quick test_snapshot_neighbours;
+          Alcotest.test_case "edge dedup" `Quick test_snapshot_edges_dedup;
+          Alcotest.test_case "active steps" `Quick test_snapshot_active_steps;
+          Alcotest.test_case "components" `Quick test_snapshot_components;
+          Alcotest.test_case "contact spans steps" `Quick test_snapshot_contact_spanning_steps;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "successors" `Quick test_graph_successors;
+          Alcotest.test_case "no wait at last step" `Quick test_graph_no_wait_at_last_step;
+          Alcotest.test_case "vertex and edge counts" `Quick test_graph_counts;
+          Alcotest.test_case "rendering" `Quick test_graph_render;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "direct contact" `Quick test_flood_direct;
+          Alcotest.test_case "multi-hop over time" `Quick test_flood_multihop_chain;
+          Alcotest.test_case "same-step chain" `Quick test_flood_same_step_chain;
+          Alcotest.test_case "ignores past contacts" `Quick test_flood_ignores_past_contacts;
+          Alcotest.test_case "source arrival" `Quick test_flood_source_arrival;
+          Alcotest.test_case "reachability ratio" `Quick test_reachability_ratio;
+        ] );
+      ("properties", qcheck_tests);
+    ]
