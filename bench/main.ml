@@ -2,17 +2,20 @@
    evaluation as printed series/tables, then (unless --no-micro) runs
    Bechamel micro-benchmarks of the hot kernels.
 
-   Usage: main.exe [--quick | --paper] [--only fig4,fig9,...] [--no-micro]
+   Usage: main.exe [--quick | --paper] [--only fig4,fig9,...]
+                   [--no-micro] [--jobs N]
 
    The default scale preserves every figure's shape while finishing in
    minutes; --paper matches the paper's parameters (1800 messages,
-   k = 2000, 10 seeds) and takes correspondingly longer. *)
+   k = 2000, 10 seeds) and takes correspondingly longer. The `parallel`
+   section times the multi-seed runner sequentially vs fanned over
+   domains and records the comparison to BENCH_parallel.json. *)
 
 module E = Core.Experiments
 module R = Core.Report
 module Dataset = Core.Dataset
 
-type options = { scale : E.scale; only : string list option; micro : bool }
+type options = { scale : E.scale; only : string list option; micro : bool; jobs : int }
 
 let quick_scale =
   { E.default_scale with E.n_messages = 30; seeds = 1; hop_paths_per_message = 100 }
@@ -21,6 +24,7 @@ let parse_args () =
   let scale = ref E.default_scale in
   let only = ref None in
   let micro = ref true in
+  let jobs = ref (Core.Parallel.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -35,13 +39,22 @@ let parse_args () =
     | "--only" :: spec :: rest ->
       only := Some (String.split_on_char ',' spec |> List.map String.trim);
       go rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+        exit 2);
+      go rest
     | arg :: _ ->
       Printf.eprintf
-        "unknown argument %s\nusage: main.exe [--quick|--paper] [--only ids] [--no-micro]\n" arg;
+        "unknown argument %s\n\
+         usage: main.exe [--quick|--paper] [--only ids] [--no-micro] [--jobs N]\n"
+        arg;
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  { scale = !scale; only = !only; micro = !micro }
+  { scale = !scale; only = !only; micro = !micro; jobs = !jobs }
 
 let wanted options id =
   match options.only with None -> true | Some ids -> List.mem id ids
@@ -121,12 +134,13 @@ let () =
   Printf.printf
     "PSN path-diversity reproduction bench\nscale: %d messages, k=%d, n*=%d, %d sim seeds\n\n%!"
     scale.E.n_messages scale.E.k scale.E.n_explosion scale.E.seeds;
-  let study_am = lazy_memo (fun () -> E.enumeration_study ~scale Dataset.infocom06_am) in
-  let study_pm = lazy_memo (fun () -> E.enumeration_study ~scale Dataset.infocom06_pm) in
-  let sim_am = lazy_memo (fun () -> E.sim_study ~scale Dataset.infocom06_am) in
-  let sim_pm = lazy_memo (fun () -> E.sim_study ~scale Dataset.infocom06_pm) in
-  let sim_cam = lazy_memo (fun () -> E.sim_study ~scale Dataset.conext06_am) in
-  let sim_cpm = lazy_memo (fun () -> E.sim_study ~scale Dataset.conext06_pm) in
+  let jobs = options.jobs in
+  let study_am = lazy_memo (fun () -> E.enumeration_study ~jobs ~scale Dataset.infocom06_am) in
+  let study_pm = lazy_memo (fun () -> E.enumeration_study ~jobs ~scale Dataset.infocom06_pm) in
+  let sim_am = lazy_memo (fun () -> E.sim_study ~jobs ~scale Dataset.infocom06_am) in
+  let sim_pm = lazy_memo (fun () -> E.sim_study ~jobs ~scale Dataset.infocom06_pm) in
+  let sim_cam = lazy_memo (fun () -> E.sim_study ~jobs ~scale Dataset.conext06_am) in
+  let sim_cpm = lazy_memo (fun () -> E.sim_study ~jobs ~scale Dataset.conext06_pm) in
 
   section options "fig1" (fun () ->
       R.render_timeseries ~title:"Fig 1: total contacts over time (60 s bins)" (E.fig1 Dataset.all));
@@ -304,7 +318,8 @@ let () =
       in
       let rows =
         List.map
-          (fun (label, factory) -> (label, Core.Runner.run_algorithm ~trace ~spec ~factory))
+          (fun (label, factory) ->
+            (label, Core.Runner.run_algorithm ~jobs:options.jobs ~trace ~spec ~factory ()))
           contenders
       in
       R.render_metrics ~title:"A01: replication budget vs delivery (Conext am)" rows);
@@ -408,4 +423,60 @@ let () =
       ^ "\n\
          (TE grows mildly with k: more paths must arrive; the paper's 2000 is\n\
          far past the knee, so the quadrant structure is insensitive to it)");
+  section options "parallel" (fun () ->
+      (* Sequential vs domain-parallel runner on the paper's six
+         algorithms: same seeds, same workloads, so the metrics must be
+         identical — only wall time may differ. *)
+      let trace = Core.Dataset.(generate infocom06_am) in
+      let n_seeds = Stdlib.max 4 scale.E.seeds in
+      let spec =
+        {
+          Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
+          seeds = Core.Runner.default_seeds n_seeds;
+        }
+      in
+      let entries = Core.Registry.paper_six in
+      let factories = List.map (fun e -> e.Core.Registry.factory) entries in
+      let time jobs =
+        let t0 = Unix.gettimeofday () in
+        let metrics = Core.Runner.run_many ~jobs ~trace ~spec ~factories () in
+        (Unix.gettimeofday () -. t0, metrics)
+      in
+      let cores = Core.Parallel.default_jobs () in
+      let jobs_par = Stdlib.max 4 (Stdlib.max options.jobs cores) in
+      let wall_seq, metrics_seq = time 1 in
+      let wall_par, metrics_par = time jobs_par in
+      let identical = Stdlib.compare metrics_seq metrics_par = 0 in
+      let speedup = wall_seq /. wall_par in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"parallel_runner\",\n\
+          \  \"dataset\": \"infocom06_am\",\n\
+          \  \"algorithms\": [%s],\n\
+          \  \"seeds\": %d,\n\
+          \  \"jobs_sequential\": 1,\n\
+          \  \"jobs_parallel\": %d,\n\
+          \  \"cores\": %d,\n\
+          \  \"wall_s_sequential\": %.3f,\n\
+          \  \"wall_s_parallel\": %.3f,\n\
+          \  \"speedup\": %.3f,\n\
+          \  \"metrics_identical\": %b\n\
+           }\n"
+          (String.concat ", "
+             (List.map (fun e -> Printf.sprintf "%S" e.Core.Registry.label) entries))
+          n_seeds jobs_par cores wall_seq wall_par speedup identical
+      in
+      let oc = open_out "BENCH_parallel.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.sprintf
+        "== Parallel runner: %d algorithms x %d seeds (Infocom am) ==\n\
+         sequential (jobs=1):  %.3f s\n\
+         parallel   (jobs=%d): %.3f s   [%d core%s available]\n\
+         speedup: %.2fx    metrics identical: %b\n\
+         (written to BENCH_parallel.json)"
+        (List.length entries) n_seeds wall_seq jobs_par wall_par cores
+        (if cores = 1 then "" else "s")
+        speedup identical);
   if options.micro && wanted options "micro" then micro_benchmarks ()

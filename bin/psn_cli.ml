@@ -46,6 +46,18 @@ let k_arg =
   let doc = "Enumeration parameter k (per-node retention and stop threshold)." in
   Arg.(value & opt int 2000 & info [ "k" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for multi-seed simulation and multi-message enumeration sweeps. \
+     Defaults to the number of cores; results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | None -> Core.Parallel.default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> exit_err "--jobs must be at least 1"
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -140,7 +152,7 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k =
+  let run dataset seed messages k jobs =
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -153,7 +165,7 @@ let explosion_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
-      let study = Core.Experiments.enumeration_study ~scale d in
+      let study = Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ~scale d in
       print_endline
         (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
            (Core.Experiments.fig4a [ study ]));
@@ -164,7 +176,7 @@ let explosion_cmd =
         (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
            (Core.Experiments.fig8 study))
   in
-  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg) in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
     term
@@ -181,7 +193,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds =
+  let run dataset seed trace_path algorithms seeds jobs =
+    let jobs = resolve_jobs jobs in
     let label, trace = resolve_trace dataset seed trace_path in
     let entries =
       match algorithms with
@@ -199,19 +212,23 @@ let simulate_cmd =
         seeds = Core.Runner.default_seeds seeds;
       }
     in
+    (* One batch over the whole algorithm × seed grid. *)
+    let metrics =
+      Core.Runner.run_many ~jobs ~trace ~spec
+        ~factories:(List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
+        ()
+    in
     let rows =
-      List.map
-        (fun (e : Core.Registry.entry) ->
-          ( e.Core.Registry.label,
-            Core.Runner.run_algorithm ~trace ~spec ~factory:e.Core.Registry.factory ))
-        entries
+      List.map2 (fun (e : Core.Registry.entry) m -> (e.Core.Registry.label, m)) entries metrics
     in
     print_endline
       (Core.Report.render_metrics
          ~title:(Printf.sprintf "Forwarding performance (%s, %d seeds)" label seeds)
          rows)
   in
-  let term = Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds) in
+  let term =
+    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
     term
@@ -238,7 +255,8 @@ let experiment_cmd =
       & info [ "dump" ] ~docv:"DIR"
           ~doc:"Also write the figure's data series as gnuplot-ready .dat files into $(docv).")
   in
-  let run figure dataset seed messages dump_dir =
+  let run figure dataset seed messages dump_dir jobs =
+    let jobs = resolve_jobs jobs in
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -267,8 +285,8 @@ let experiment_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
-      let study = lazy (E.enumeration_study ~scale d) in
-      let sim = lazy (E.sim_study ~scale d) in
+      let study = lazy (E.enumeration_study ~jobs ~scale d) in
+      let sim = lazy (E.sim_study ~jobs ~scale d) in
       let text =
         match figure with
         | "fig1" -> R.render_timeseries ~title:"Fig 1: contacts over time" (E.fig1 [ d ])
@@ -310,7 +328,7 @@ let experiment_cmd =
       in
       print_endline text
   in
-  let term = Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump) in
+  let term = Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg) in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one figure of the paper on one dataset.") term
 
 (* --- intercontact --- *)

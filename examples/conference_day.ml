@@ -58,7 +58,7 @@ let () =
   Format.printf "%-28s %9s %12s %10s@." "algorithm" "success" "mean delay" "copies";
   List.iter
     (fun (label, factory) ->
-      let m = Core.Runner.run_algorithm ~trace ~spec ~factory in
+      let m = Core.Runner.run_algorithm ~trace ~spec ~factory () in
       Format.printf "%-28s %9.3f %10.0f s %10d@." label m.Core.Metrics.success_rate
         m.Core.Metrics.mean_delay m.Core.Metrics.copies)
     contenders;

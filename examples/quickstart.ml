@@ -53,7 +53,7 @@ let () =
   Format.printf "@.";
   List.iter
     (fun (label, factory) ->
-      let m = Core.Runner.run_algorithm ~trace ~spec ~factory in
+      let m = Core.Runner.run_algorithm ~trace ~spec ~factory () in
       Format.printf "%-10s success %.3f, mean delay %.0f s@." label m.Core.Metrics.success_rate
         m.Core.Metrics.mean_delay)
     [ ("Epidemic", Core.Epidemic.factory); ("FRESH", Core.Fresh.factory) ]

@@ -82,6 +82,7 @@ module Algorithm = Psn_sim.Algorithm
 module Engine = Psn_sim.Engine
 module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
+module Parallel = Psn_sim.Parallel
 
 (* Algorithms *)
 module Contact_history = Psn_forwarding.Contact_history

@@ -12,6 +12,7 @@ module Engine = Psn_sim.Engine
 module Metrics = Psn_sim.Metrics
 module Message = Psn_sim.Message
 module Workload = Psn_sim.Workload
+module Parallel = Psn_sim.Parallel
 
 type scale = {
   n_messages : int;
@@ -59,7 +60,7 @@ let random_message rng trace =
   in
   (src, dst, Rng.float rng (generation_window trace))
 
-let enumeration_study ?(scale = default_scale) dataset =
+let enumeration_study ?jobs ?(scale = default_scale) dataset =
   let trace = Dataset.generate dataset in
   let classify = Classify.of_trace trace in
   let snap = Snapshot.of_trace trace in
@@ -67,9 +68,16 @@ let enumeration_study ?(scale = default_scale) dataset =
   let config =
     { Enumerate.k = scale.k; max_hops = None; stop_at_total = Some scale.n_explosion; exhaustive = false }
   in
+  (* All RNG draws happen here, sequentially and in message order; the
+     per-pair enumerations below are then pure functions of their spec,
+     so fanning them across domains cannot change any result. *)
+  let specs = Array.make scale.n_messages (0, 0, 0.) in
+  for i = 0 to scale.n_messages - 1 do
+    specs.(i) <- random_message rng trace
+  done;
   let messages =
-    List.init scale.n_messages (fun _ ->
-        let src, dst, t_create = random_message rng trace in
+    Parallel.map ?jobs
+      (fun (src, dst, t_create) ->
         let result = Enumerate.run ~config snap ~src ~dst ~t_create in
         let sample_paths =
           Array.to_list result.Enumerate.arrivals
@@ -85,6 +93,8 @@ let enumeration_study ?(scale = default_scale) dataset =
           arrival_times = Enumerate.arrival_times result;
           sample_paths;
         })
+      specs
+    |> Array.to_list
   in
   { dataset; trace; classify; scale; messages }
 
@@ -201,7 +211,7 @@ type sim_study = {
   runs : (Registry.entry * Engine.outcome list) list;
 }
 
-let sim_study ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
+let sim_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
   let trace = Dataset.generate dataset in
   let spec =
     {
@@ -209,18 +219,18 @@ let sim_study ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
       seeds = Psn_sim.Runner.default_seeds scale.seeds;
     }
   in
-  let runs =
-    List.map
-      (fun (e : Registry.entry) ->
-        (e, Psn_sim.Runner.outcomes ~trace ~spec ~factory:e.Registry.factory))
-      entries
+  (* One parallel batch over the whole algorithm × seed grid. *)
+  let outcomes =
+    Psn_sim.Runner.outcomes_many ?jobs ~trace ~spec
+      ~factories:(List.map (fun (e : Registry.entry) -> e.Registry.factory) entries)
+      ()
   in
+  let runs = List.combine entries outcomes in
   { sim_dataset = dataset; sim_trace = trace; sim_classify = Classify.of_trace trace; runs }
 
 let fig9 study =
   List.map
-    (fun ((e : Registry.entry), outcomes) ->
-      (e.Registry.label, Metrics.average (List.map Metrics.of_outcome outcomes)))
+    (fun ((e : Registry.entry), outcomes) -> (e.Registry.label, Metrics.pool outcomes))
     study.runs
 
 let fig10 study =
@@ -231,10 +241,11 @@ let fig10 study =
     study.runs
 
 (* Pool records from all seeds into one outcome so grouped metrics see
-   the full sample. *)
+   the full sample; total copies is the sum, consistent with records. *)
 let pooled_outcome (e : Registry.entry) outcomes =
   let records = List.concat_map (fun o -> Array.to_list o.Engine.records) outcomes in
-  { Engine.algorithm = e.Registry.label; records = Array.of_list records; copies = 0 }
+  let copies = List.fold_left (fun acc (o : Engine.outcome) -> acc + o.Engine.copies) 0 outcomes in
+  { Engine.algorithm = e.Registry.label; records = Array.of_list records; copies }
 
 let fig13 study =
   let grouped_by_algorithm =

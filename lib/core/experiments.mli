@@ -48,10 +48,13 @@ type study = {
   messages : message_result list;
 }
 
-val enumeration_study : ?scale:scale -> Psn_trace.Dataset.t -> study
+val enumeration_study : ?jobs:int -> ?scale:scale -> Psn_trace.Dataset.t -> study
 (** Enumerate paths for [scale.n_messages] random messages over the
     dataset's trace. The expensive call — share the result across
-    figure functions. *)
+    figure functions. The per-message enumerations are independent and
+    run on [jobs] domains (default {!Psn_sim.Parallel.default_jobs});
+    messages are drawn sequentially first, so results do not depend on
+    [jobs]. *)
 
 (** {1 Figures 1-8, 11, 14, 15 (measurement side)} *)
 
@@ -102,13 +105,15 @@ type sim_study = {
 }
 
 val sim_study :
+  ?jobs:int ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
   Psn_trace.Dataset.t ->
   sim_study
 (** Run each algorithm ([entries] defaults to the paper's six) over
     [scale.seeds] Poisson workloads (rate 1/4 s over the first two
-    hours, as in §6.1). *)
+    hours, as in §6.1). The algorithm × seed grid is one parallel batch
+    over [jobs] domains; output is independent of [jobs]. *)
 
 val fig9 : sim_study -> (string * Psn_sim.Metrics.t) list
 (** Average delay and success rate per algorithm — one Fig. 9 panel. *)

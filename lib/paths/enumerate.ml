@@ -40,6 +40,10 @@ let bitset_add bs i =
   let byte = i lsr 3 in
   Bytes.set bs byte (Char.chr (Char.code (Bytes.get bs byte) lor (1 lsl (i land 7))))
 
+let bitset_remove bs i =
+  let byte = i lsr 3 in
+  Bytes.set bs byte (Char.chr (Char.code (Bytes.get bs byte) land lnot (1 lsl (i land 7)) land 0xff))
+
 let bitset_with bs i =
   let copy = Bytes.copy bs in
   bitset_add copy i;
@@ -103,6 +107,9 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
   (* Dijkstra-style bucket queue over nhops keeps intra-step expansion in
      ascending hop order, making the per-node k-shortest pruning exact. *)
   let buckets = Array.make (n + 2) [] in
+  (* Scratch bitset for the fresh-edge computation, reused (and cleared
+     back to zero) every node of every step. *)
+  let prev_mask = bitset_create n in
   let new_at = Array.make n [] in
   let new_count = Array.make n 0 in
   let touched = ref [] in
@@ -132,8 +139,18 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
          let fresh =
            if config.exhaustive then neighbours u
            else begin
-             let prev = prev_neighbours u in
-             List.filter (fun v -> not (List.mem v prev)) (neighbours u)
+             (* Membership in last step's neighbour set via a reusable
+                bitset: O(deg) per node where the old List.mem scan was
+                O(deg²) — the dominant per-step cost on dense steps. *)
+             match prev_neighbours u with
+             | [] -> neighbours u
+             | prev ->
+               List.iter (fun v -> bitset_add prev_mask v) prev;
+               let fresh =
+                 List.filter (fun v -> not (bitset_mem prev_mask v)) (neighbours u)
+               in
+               List.iter (fun v -> bitset_remove prev_mask v) prev;
+               fresh
            end
          in
          fresh_edges.(u) <- fresh;

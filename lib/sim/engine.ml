@@ -1,7 +1,7 @@
 module Trace = Psn_trace.Trace
 module Contact = Psn_trace.Contact
 
-type record = { message : Message.t; delivered : float option }
+type record = { message : Message.t; delivered : float option; copies : int }
 
 type outcome = { algorithm : string; records : record array; copies : int }
 
@@ -11,20 +11,38 @@ type event =
   | Create of Message.t
 
 (* Order events at equal times: ends, then starts, then creations — a
-   message created the instant a contact opens may use it. *)
-let event_rank = function Contact_end _ -> 0 | Contact_start _ -> 1 | Create _ -> 2
+   message created the instant a contact opens may use it. Ties within a
+   kind break on endpoint ids / message id so the in-place (unstable)
+   array sort below is fully deterministic. *)
+let compare_events (t1, e1) (t2, e2) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c
+  else
+    let key = function
+      | Contact_end (a, b) -> (0, a, b)
+      | Contact_start (a, b) -> (1, a, b)
+      | Create m -> (2, m.Message.id, 0)
+    in
+    compare (key e1) (key e2)
 
-let build_events trace messages =
-  let events = ref [] in
-  Trace.iter_contacts trace (fun (c : Contact.t) ->
-      events := (c.Contact.t_start, Contact_start (c.Contact.a, c.Contact.b)) :: !events;
-      events := (c.Contact.t_end, Contact_end (c.Contact.a, c.Contact.b)) :: !events);
-  List.iter (fun (m : Message.t) -> events := (m.Message.t_create, Create m) :: !events) messages;
-  let compare_events (t1, e1) (t2, e2) =
-    let c = Float.compare t1 t2 in
-    if c <> 0 then c else Int.compare (event_rank e1) (event_rank e2)
+(* The schedule is built into a flat array and sorted in place: no cons
+   cells, no merge-sort allocation — this is rebuilt once per run and
+   was a measurable share of short runs. *)
+let build_events trace messages n_msgs =
+  let n_events = (2 * Trace.n_contacts trace) + n_msgs in
+  let events = Array.make (Stdlib.max n_events 1) (0., Contact_end (0, 0)) in
+  let idx = ref 0 in
+  let push t e =
+    events.(!idx) <- (t, e);
+    incr idx
   in
-  List.sort compare_events !events
+  Trace.iter_contacts trace (fun (c : Contact.t) ->
+      push c.Contact.t_start (Contact_start (c.Contact.a, c.Contact.b));
+      push c.Contact.t_end (Contact_end (c.Contact.a, c.Contact.b)));
+  List.iter (fun (m : Message.t) -> push m.Message.t_create (Create m)) messages;
+  let events = if n_events = Array.length events then events else Array.sub events 0 n_events in
+  Array.sort compare_events events;
+  events
 
 let run ?ttl ~trace ~messages algorithm =
   (match ttl with
@@ -39,7 +57,7 @@ let run ?ttl ~trace ~messages algorithm =
     (fun (m : Message.t) ->
       if m.Message.src >= n || m.Message.dst >= n then
         invalid_arg "Engine.run: message endpoint outside population";
-      if m.Message.t_create >= horizon then
+      if m.Message.t_create < 0. || m.Message.t_create >= horizon then
         invalid_arg "Engine.run: message created outside trace window")
     messages;
   let n_msgs = List.length messages in
@@ -51,8 +69,41 @@ let run ?ttl ~trace ~messages algorithm =
       if message_of.(m.Message.id) <> None then invalid_arg "Engine.run: duplicate message id";
       message_of.(m.Message.id) <- Some m)
     messages;
-  (* Per-node active peers (multiset: duplicate records are tolerated). *)
-  let active = Array.make n [] in
+  (* Active contacts as adjacency counts (duplicate contact records are
+     tolerated) plus a dense peer set per node with positional
+     swap-removal, so contact start/end and the cascade iteration are
+     all O(1)/O(deg) instead of O(deg) list scans per event. *)
+  let adj = Array.init n (fun _ -> Array.make n 0) in
+  let peers = Array.init n (fun _ -> Array.make 0 0) in
+  let n_peers = Array.make n 0 in
+  let peer_pos = Array.init n (fun _ -> Array.make n (-1)) in
+  let add_peer a b =
+    if adj.(a).(b) = 0 then begin
+      if n_peers.(a) = Array.length peers.(a) then begin
+        let bigger = Array.make (Stdlib.max 4 (2 * n_peers.(a))) 0 in
+        Array.blit peers.(a) 0 bigger 0 n_peers.(a);
+        peers.(a) <- bigger
+      end;
+      peers.(a).(n_peers.(a)) <- b;
+      peer_pos.(a).(b) <- n_peers.(a);
+      n_peers.(a) <- n_peers.(a) + 1
+    end;
+    adj.(a).(b) <- adj.(a).(b) + 1
+  in
+  let remove_peer a b =
+    if adj.(a).(b) > 0 then begin
+      adj.(a).(b) <- adj.(a).(b) - 1;
+      if adj.(a).(b) = 0 then begin
+        let p = peer_pos.(a).(b) in
+        let last = n_peers.(a) - 1 in
+        let moved = peers.(a).(last) in
+        peers.(a).(p) <- moved;
+        peer_pos.(a).(moved) <- p;
+        peer_pos.(a).(b) <- -1;
+        n_peers.(a) <- last
+      end
+    end
+  in
   (* holders.(msg) = bitset of nodes with a copy. *)
   let holders = Array.init n_msgs (fun _ -> Bytes.make ((n + 7) / 8) '\000') in
   let has_copy msg node =
@@ -63,9 +114,28 @@ let run ?ttl ~trace ~messages algorithm =
     Bytes.set holders.(msg) byte
       (Char.chr (Char.code (Bytes.get holders.(msg) byte) lor (1 lsl (node land 7))))
   in
-  let held = Array.make n [] in
+  (* Held messages per node: append-only dense index (copies are never
+     dropped — infinite buffers). *)
+  let held = Array.make n [||] in
+  let held_len = Array.make n 0 in
+  let push_held node id =
+    if held_len.(node) = Array.length held.(node) then begin
+      let bigger = Array.make (Stdlib.max 4 (2 * held_len.(node))) 0 in
+      Array.blit held.(node) 0 bigger 0 held_len.(node);
+      held.(node) <- bigger
+    end;
+    held.(node).(held_len.(node)) <- id;
+    held_len.(node) <- held_len.(node) + 1
+  in
   let delivered = Array.make n_msgs None in
+  (* Transmissions per message (relay forwards and the final delivery
+     transmission alike), plus the running total. *)
+  let copies_of = Array.make n_msgs 0 in
   let copies = ref 0 in
+  let transmit id =
+    copies_of.(id) <- copies_of.(id) + 1;
+    incr copies
+  in
   (* Cascading receive: instant transfers mean a fresh copy immediately
      competes for every active contact of its new holder. *)
   let rec receive (m : Message.t) node time =
@@ -74,60 +144,72 @@ let run ?ttl ~trace ~messages algorithm =
       set_copy id node;
       if node = m.Message.dst then delivered.(id) <- Some time
       else begin
-        held.(node) <- id :: held.(node);
-        List.iter (fun peer -> offer m ~holder:node ~peer time) active.(node)
+        push_held node id;
+        let ps = peers.(node) in
+        let len = n_peers.(node) in
+        let i = ref 0 in
+        while !i < len && delivered.(id) = None do
+          offer m ~holder:node ~peer:ps.(!i) time;
+          incr i
+        done
       end
     end
   (* One copy, one contact: deliver on meeting the destination (minimal
-     progress), otherwise ask the algorithm. *)
+     progress), otherwise ask the algorithm. Every accepted transfer —
+     including the final hop to the destination — is one transmission. *)
   and offer (m : Message.t) ~holder ~peer time =
     let id = m.Message.id in
     if delivered.(id) = None && not (expired m time) then
-      if peer = m.Message.dst then receive m peer time
+      if peer = m.Message.dst then begin
+        transmit id;
+        receive m peer time
+      end
       else if
         (not (has_copy id peer))
         && algorithm.Algorithm.should_forward { Algorithm.time; holder; peer; message = m }
       then begin
         algorithm.Algorithm.on_forward { Algorithm.time; holder; peer; message = m };
-        incr copies;
+        transmit id;
         receive m peer time
       end
   in
   let exchange a b time =
-    (* Offer everything [a] holds across the new contact with [b]. *)
+    (* Offer everything [a] holds across the new contact with [b]. The
+       length is snapshotted: copies received during the exchange are
+       appended past it and offer themselves through their own cascade. *)
     let snapshot = held.(a) in
-    List.iter
-      (fun id ->
-        match message_of.(id) with
-        | None -> ()
-        | Some m -> offer m ~holder:a ~peer:b time)
-      snapshot
+    let len = held_len.(a) in
+    for i = 0 to len - 1 do
+      match message_of.(snapshot.(i)) with
+      | None -> ()
+      | Some m -> offer m ~holder:a ~peer:b time
+    done
   in
-  let remove_one x xs =
-    let rec go acc = function
-      | [] -> List.rev acc
-      | y :: rest -> if y = x then List.rev_append acc rest else go (y :: acc) rest
-    in
-    go [] xs
-  in
-  List.iter
+  Array.iter
     (fun (time, event) ->
       match event with
       | Contact_end (a, b) ->
-        active.(a) <- remove_one b active.(a);
-        active.(b) <- remove_one a active.(b)
+        remove_peer a b;
+        remove_peer b a
       | Contact_start (a, b) ->
         algorithm.Algorithm.observe_contact ~time ~a ~b;
-        active.(a) <- b :: active.(a);
-        active.(b) <- a :: active.(b);
+        add_peer a b;
+        add_peer b a;
         exchange a b time;
         exchange b a time
       | Create m ->
         algorithm.Algorithm.on_create m;
         receive m m.Message.src time)
-    (build_events trace messages);
+    (build_events trace messages n_msgs);
   let records =
-    List.map (fun (m : Message.t) -> { message = m; delivered = delivered.(m.Message.id) }) messages
+    List.map
+      (fun (m : Message.t) ->
+        {
+          message = m;
+          delivered = delivered.(m.Message.id);
+          copies = copies_of.(m.Message.id);
+        })
+      messages
     |> Array.of_list
   in
   { algorithm = algorithm.Algorithm.name; records; copies = !copies }

@@ -17,12 +17,19 @@
 type record = {
   message : Message.t;
   delivered : float option;  (** Absolute first-delivery time. *)
+  copies : int;
+      (** Transmissions performed for this message: every accepted
+          relay transfer plus, when the message is delivered through a
+          contact, the final transmission to the destination. A message
+          delivered at creation (source already co-located, via an
+          active contact) therefore counts at least 1; an undelivered,
+          never-forwarded message counts 0. *)
 }
 
 type outcome = {
   algorithm : string;
   records : record array;  (** One per workload message, in message order. *)
-  copies : int;  (** Total copy transfers performed (cost measure). *)
+  copies : int;  (** Total transmissions: sum of per-record [copies]. *)
 }
 
 val run :
@@ -32,7 +39,8 @@ val run :
   Algorithm.t ->
   outcome
 (** Simulate one run. Message endpoints must lie inside the trace
-    population and creation times inside the trace window; raises
+    population and creation times inside the trace window (in
+    particular, a negative [t_create] is rejected); raises
     [Invalid_argument] otherwise.
 
     [ttl], when given, bounds each message's useful lifetime: copies are

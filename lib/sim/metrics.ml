@@ -17,10 +17,13 @@ let delays (outcome : Engine.outcome) =
   Array.sort Float.compare out;
   out
 
-let of_records algorithm records copies =
+let of_records algorithm records =
   let messages = Array.length records in
   let delay_list = Array.to_list records |> List.filter_map Engine.delay in
   let delivered = List.length delay_list in
+  let copies =
+    Array.fold_left (fun acc (r : Engine.record) -> acc + r.Engine.copies) 0 records
+  in
   let mean_delay =
     if delivered = 0 then Float.nan
     else List.fold_left ( +. ) 0. delay_list /. float_of_int delivered
@@ -40,36 +43,26 @@ let of_records algorithm records copies =
   }
 
 let of_outcome (outcome : Engine.outcome) =
-  of_records outcome.Engine.algorithm outcome.Engine.records outcome.Engine.copies
+  of_records outcome.Engine.algorithm outcome.Engine.records
 
-let average = function
-  | [] -> invalid_arg "Metrics.average: empty list"
-  | first :: _ as metrics ->
+(* Multi-run aggregation concatenates the runs' records and recomputes
+   every statistic over the pooled sample — so [median_delay] is the
+   true pooled median, not a delivery-weighted mean of per-run medians
+   (which systematically misstates skewed delay distributions). *)
+let pool = function
+  | [] -> invalid_arg "Metrics.pool: empty list"
+  | [ outcome ] -> of_outcome outcome
+  | first :: _ as outcomes ->
     List.iter
-      (fun m ->
-        if not (String.equal m.algorithm first.algorithm) then
-          invalid_arg "Metrics.average: mixed algorithms")
-      metrics;
-    let messages = List.fold_left (fun acc m -> acc + m.messages) 0 metrics in
-    let delivered = List.fold_left (fun acc m -> acc + m.delivered) 0 metrics in
-    let copies = List.fold_left (fun acc m -> acc + m.copies) 0 metrics in
-    let weighted field =
-      if delivered = 0 then Float.nan
-      else
-        List.fold_left
-          (fun acc m -> if m.delivered = 0 then acc else acc +. (float_of_int m.delivered *. field m))
-          0. metrics
-        /. float_of_int delivered
+      (fun (o : Engine.outcome) ->
+        if not (String.equal o.Engine.algorithm first.Engine.algorithm) then
+          invalid_arg "Metrics.pool: mixed algorithms")
+      outcomes;
+    let records =
+      List.concat_map (fun (o : Engine.outcome) -> Array.to_list o.Engine.records) outcomes
+      |> Array.of_list
     in
-    {
-      algorithm = first.algorithm;
-      messages;
-      delivered;
-      success_rate = (if messages = 0 then 0. else float_of_int delivered /. float_of_int messages);
-      mean_delay = weighted (fun m -> m.mean_delay);
-      median_delay = weighted (fun m -> m.median_delay);
-      copies;
-    }
+    of_records first.Engine.algorithm records
 
 let grouped (outcome : Engine.outcome) ~classify =
   let order = ref [] in
@@ -86,4 +79,4 @@ let grouped (outcome : Engine.outcome) ~classify =
   List.rev !order
   |> List.map (fun key ->
          let records = Array.of_list (List.rev (Hashtbl.find groups key)) in
-         (key, of_records outcome.Engine.algorithm records 0))
+         (key, of_records outcome.Engine.algorithm records))

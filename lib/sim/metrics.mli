@@ -12,7 +12,9 @@ type t = {
   success_rate : float;  (** [delivered / messages]; 0 for an empty workload. *)
   mean_delay : float;  (** Over delivered messages only; [nan] if none. *)
   median_delay : float;  (** [nan] if none delivered. *)
-  copies : int;  (** Copy transfers — the cost axis the paper leaves open. *)
+  copies : int;
+      (** Transmissions (relay transfers plus delivery transmissions) —
+          the cost axis the paper leaves open. *)
 }
 
 val of_outcome : Engine.outcome -> t
@@ -21,15 +23,20 @@ val delays : Engine.outcome -> float array
 (** Delivery delays of delivered messages, ascending — feed to
     {!Psn_stats.Cdf.of_samples} for Fig. 10. *)
 
-val average : t list -> t
-(** Combine runs of the same algorithm (multi-seed averaging): message
-    and delivery counts summed, success rate and delays re-derived from
-    the pooled counts (delay fields averaged weighted by deliveries).
-    Raises [Invalid_argument] on an empty list or mixed algorithms. *)
+val pool : Engine.outcome list -> t
+(** Combine runs of the same algorithm (multi-seed aggregation) by
+    concatenating their per-message records and recomputing every
+    statistic over the pooled sample: counts and copies sum, and
+    [mean_delay]/[median_delay] are the mean and median of the pooled
+    delay list — {e not} a delivery-weighted mean of per-run summary
+    values, which is wrong for the median. Raises [Invalid_argument] on
+    an empty list or mixed algorithms. *)
 
 val grouped :
   Engine.outcome ->
   classify:(Message.t -> 'key) ->
   ('key * t) list
 (** Per-group metrics, e.g. [classify] by source-destination pair type
-    for Fig. 13. Groups appear in first-seen order. *)
+    for Fig. 13. Groups appear in first-seen order; each group's
+    [copies] is the sum of its records' per-message transmission
+    counts, so group copies sum to the outcome's total. *)

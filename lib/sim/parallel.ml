@@ -1,0 +1,41 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Work-stealing by atomic counter: workers claim the next unclaimed
+   index until the range is exhausted. Each slot of [results] and
+   [failures] is written by exactly one domain, and [Domain.join]
+   publishes those writes to the caller, so no further synchronisation
+   is needed. *)
+let map ?jobs f tasks =
+  let n = Array.length tasks in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parallel.map: jobs must be >= 1"
+    | Some j -> j
+    | None -> default_jobs ()
+  in
+  let jobs = Stdlib.min jobs n in
+  if jobs <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> failures.(i) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs f tasks = Array.to_list (map ?jobs f (Array.of_list tasks))

@@ -1,0 +1,35 @@
+(** Multicore fan-out for embarrassingly parallel sweeps.
+
+    The experiment layer is dominated by two shapes of work: one
+    simulation run per (algorithm, seed) and one path enumeration per
+    (src, dst) pair. Both are independent tasks over an index set, so
+    this module provides exactly that: a [Domain]-based work pool
+    (OCaml 5 stdlib only, no external dependency) that applies a
+    function to every element of an array and returns the results
+    {e keyed by input index}.
+
+    Determinism contract: because every task owns its inputs (per-task
+    RNG seeds, fresh algorithm state) and results land in the slot of
+    their input index, a parallel run is bit-identical to a sequential
+    run of the same tasks — scheduling only changes {e when} a task
+    runs, never what it computes or where its result goes. Tasks must
+    not share mutable state; all library tasks fed to this module
+    (engine runs, enumerations) mutate only state they create.
+
+    Exceptions raised by tasks are caught per task and re-raised in the
+    caller after all workers have drained, lowest task index first, so
+    failure behaviour is deterministic too. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when
+    [?jobs] is omitted. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] is [Array.map f tasks] computed by up to [jobs]
+    domains (the calling domain works too, so [jobs = 4] spawns three).
+    [jobs] defaults to {!default_jobs}; [jobs = 1] (or a single task)
+    runs sequentially in the calling domain with no spawning. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)

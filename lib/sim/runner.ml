@@ -2,17 +2,36 @@ type run_spec = { workload : Workload.spec; seeds : int64 list }
 
 let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
 
-let outcomes ~trace ~spec ~factory =
+(* Each task owns its RNG (created from the task's seed) and its
+   algorithm instance, so runs are independent and safe to fan out
+   across domains; results come back in seed order either way. *)
+let run_seed ~trace ~spec ~factory seed =
+  let rng = Psn_prng.Rng.create ~seed () in
+  let messages = Workload.generate ~rng spec.workload in
+  Engine.run ~trace ~messages (factory trace)
+
+let outcomes ?jobs ~trace ~spec ~factory () =
   if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
-  List.map
-    (fun seed ->
-      let rng = Psn_prng.Rng.create ~seed () in
-      let messages = Workload.generate ~rng spec.workload in
-      Engine.run ~trace ~messages (factory trace))
-    spec.seeds
+  Parallel.map_list ?jobs (run_seed ~trace ~spec ~factory) spec.seeds
 
-let run_algorithm ~trace ~spec ~factory =
-  outcomes ~trace ~spec ~factory |> List.map Metrics.of_outcome |> Metrics.average
+let run_algorithm ?jobs ~trace ~spec ~factory () =
+  Metrics.pool (outcomes ?jobs ~trace ~spec ~factory ())
 
-let run_many ~trace ~spec ~factories =
-  List.map (fun factory -> run_algorithm ~trace ~spec ~factory) factories
+let outcomes_many ?jobs ~trace ~spec ~factories () =
+  if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
+  let seeds = Array.of_list spec.seeds in
+  let facs = Array.of_list factories in
+  let n_seeds = Array.length seeds in
+  (* Flatten the (factory, seed) grid into one task array so a few slow
+     algorithms cannot leave workers idle, then regroup by factory. *)
+  let tasks =
+    Array.init
+      (Array.length facs * n_seeds)
+      (fun i -> (facs.(i / n_seeds), seeds.(i mod n_seeds)))
+  in
+  let outs = Parallel.map ?jobs (fun (factory, seed) -> run_seed ~trace ~spec ~factory seed) tasks in
+  List.init (Array.length facs) (fun fi ->
+      List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
+
+let run_many ?jobs ~trace ~spec ~factories () =
+  List.map Metrics.pool (outcomes_many ?jobs ~trace ~spec ~factories ())

@@ -2,7 +2,14 @@
 
     The paper averages every forwarding result over 10 simulation runs;
     this module regenerates the workload (and optionally the trace) per
-    seed and aggregates. *)
+    seed and aggregates over the pooled records.
+
+    Every entry point takes [?jobs]: the seeds (and, for the [_many]
+    variants, the whole algorithm × seed grid) are fanned across that
+    many domains through {!Parallel}. Each run owns its RNG and
+    algorithm state and results are keyed by input index, so any [jobs]
+    value produces bit-identical output — [jobs] only changes wall
+    time. Defaults to {!Parallel.default_jobs}. *)
 
 type run_spec = {
   workload : Workload.spec;
@@ -14,25 +21,44 @@ val default_seeds : int -> int64 list
     [k] (1000, 1001, …) so published numbers are reproducible. *)
 
 val run_algorithm :
+  ?jobs:int ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
+  unit ->
   Metrics.t
 (** Run one algorithm over every seed (fresh workload and fresh
-    algorithm state per seed; the trace is shared) and average. *)
+    algorithm state per seed; the trace is shared) and pool the
+    per-seed records ({!Metrics.pool}). *)
 
 val run_many :
+  ?jobs:int ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->
+  unit ->
   Metrics.t list
 (** {!run_algorithm} for each factory, same seeds — so algorithms face
     identical workloads, as in a paired comparison. *)
 
 val outcomes :
+  ?jobs:int ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
+  unit ->
   Engine.outcome list
-(** The raw per-seed outcomes, for analyses needing full records
-    (Fig. 10 delay distributions, Fig. 13 groupings). *)
+(** The raw per-seed outcomes, in seed order, for analyses needing full
+    records (Fig. 10 delay distributions, Fig. 13 groupings). *)
+
+val outcomes_many :
+  ?jobs:int ->
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factories:Algorithm.factory list ->
+  unit ->
+  Engine.outcome list list
+(** {!outcomes} for each factory over the same seeds; the whole
+    factory × seed grid is one parallel batch, so stragglers in one
+    algorithm overlap with the others' work. Results are grouped per
+    factory, seeds in order. *)

@@ -105,7 +105,9 @@ let test_relay_chain_over_time () =
   let flooded = Engine.run ~trace ~messages:[ m ] epidemic in
   Alcotest.(check (option (float 1e-9))) "epidemic relays" (Some 50.)
     flooded.Engine.records.(0).Engine.delivered;
-  Alcotest.(check int) "one copy made" 1 flooded.Engine.copies;
+  (* one relay transfer (0 -> 1) plus the final delivery transmission
+     (1 -> 2): both cost a transmission, so both count *)
+  Alcotest.(check int) "relay + delivery transmissions" 2 flooded.Engine.copies;
   let direct = Engine.run ~trace ~messages:[ m ] never in
   Alcotest.(check (option (float 1e-9))) "direct fails" None
     direct.Engine.records.(0).Engine.delivered
@@ -364,42 +366,128 @@ let test_metrics_delays_sorted () =
   let d = Metrics.delays (fixture_outcome ()) in
   Alcotest.(check (array (float 1e-9))) "sorted delays" [| 10.; 40. |] d
 
-let test_metrics_average () =
-  let m = Metrics.of_outcome (fixture_outcome ()) in
-  let avg = Metrics.average [ m; m ] in
-  Alcotest.(check int) "messages pooled" 6 avg.Metrics.messages;
-  Alcotest.check feps "success stable" m.Metrics.success_rate avg.Metrics.success_rate;
-  Alcotest.check feps "mean stable" m.Metrics.mean_delay avg.Metrics.mean_delay
+(* One delivered message with delay 5, same algorithm as the fixture. *)
+let small_outcome () =
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:10. ]
+  in
+  Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 0. ] epidemic
+
+let test_metrics_pool () =
+  (* Pooled delays are [5; 10; 40]: the median is the middle value, 10.
+     A delivery-weighted mean of the per-run medians (25 and 5) would be
+     (2*25 + 1*5)/3 = 18.33 — the bug this test pins down. *)
+  let pooled = Metrics.pool [ fixture_outcome (); small_outcome () ] in
+  Alcotest.(check int) "messages pooled" 4 pooled.Metrics.messages;
+  Alcotest.(check int) "delivered pooled" 3 pooled.Metrics.delivered;
+  Alcotest.check feps "success" 0.75 pooled.Metrics.success_rate;
+  Alcotest.check feps "pooled median" 10. pooled.Metrics.median_delay;
+  Alcotest.check feps "pooled mean" (55. /. 3.) pooled.Metrics.mean_delay
+
+let test_metrics_pool_singleton_and_errors () =
+  let o = fixture_outcome () in
+  Alcotest.(check bool) "singleton = of_outcome" true
+    (Stdlib.compare (Metrics.pool [ o ]) (Metrics.of_outcome o) = 0);
+  Alcotest.check_raises "empty" (Invalid_argument "Metrics.pool: empty list") (fun () ->
+      ignore (Metrics.pool []));
+  let other =
+    let trace =
+      Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:10. ]
+    in
+    Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 0. ] never
+  in
+  Alcotest.check_raises "mixed algorithms" (Invalid_argument "Metrics.pool: mixed algorithms")
+    (fun () -> ignore (Metrics.pool [ o; other ]))
 
 let test_metrics_grouped () =
-  let groups =
-    Metrics.grouped (fixture_outcome ()) ~classify:(fun (m : Message.t) -> m.Message.src)
-  in
+  let outcome = fixture_outcome () in
+  let groups = Metrics.grouped outcome ~classify:(fun (m : Message.t) -> m.Message.src) in
   Alcotest.(check int) "two groups" 2 (List.length groups);
   let src0 = List.assoc 0 groups in
   Alcotest.(check int) "src 0 msgs" 2 src0.Metrics.messages;
-  Alcotest.(check int) "src 0 delivered" 1 src0.Metrics.delivered
+  Alcotest.(check int) "src 0 delivered" 1 src0.Metrics.delivered;
+  (* msg 0 costs its delivery transmission, msg 2 its relay to node 1 *)
+  Alcotest.(check int) "src 0 copies" 2 src0.Metrics.copies;
+  let total = List.fold_left (fun acc (_, g) -> acc + g.Metrics.copies) 0 groups in
+  Alcotest.(check int) "group copies sum to outcome total" outcome.Engine.copies total
+
+let test_copies_direct_delivery () =
+  (* Two nodes, one contact, one message: the only transmission is the
+     src -> dst delivery itself, so copies is 1 (not 0). *)
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:30. ~t_end:40. ]
+  in
+  let outcome = Engine.run ~trace ~messages:[ msg ~src:0 ~dst:1 10. ] epidemic in
+  Alcotest.(check int) "record copies" 1 outcome.Engine.records.(0).Engine.copies;
+  Alcotest.(check int) "outcome copies" 1 outcome.Engine.copies
+
+let test_negative_creation_rejected () =
+  (* Message.make already rejects negative times, but the record type is
+     concrete, so the engine must validate what it is handed. *)
+  let trace =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20. ]
+  in
+  let rogue = { Message.id = 0; src = 0; dst = 1; t_create = -5. } in
+  Alcotest.check_raises "negative t_create"
+    (Invalid_argument "Engine.run: message created outside trace window") (fun () ->
+      ignore (Engine.run ~trace ~messages:[ rogue ] never))
 
 (* --- Runner --- *)
 
+let runner_trace () =
+  Trace.create ~n_nodes:6 ~horizon:1000.
+    (List.init 30 (fun i ->
+         let a = i mod 6 and b = (i + 1) mod 6 in
+         Contact.make ~a ~b ~t_start:(float_of_int (i * 30)) ~t_end:(float_of_int ((i * 30) + 20))))
+
+let runner_spec seeds =
+  {
+    Runner.workload = { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 };
+    seeds = Runner.default_seeds seeds;
+  }
+
 let test_runner_deterministic () =
-  let trace =
-    Trace.create ~n_nodes:6 ~horizon:1000.
-      (List.init 30 (fun i ->
-           let a = i mod 6 and b = (i + 1) mod 6 in
-           Contact.make ~a ~b ~t_start:(float_of_int (i * 30)) ~t_end:(float_of_int ((i * 30) + 20))))
-  in
-  let spec =
-    {
-      Runner.workload = { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 };
-      seeds = Runner.default_seeds 2;
-    }
-  in
+  let trace = runner_trace () in
+  let spec = runner_spec 2 in
   let factory _ = epidemic in
-  let a = Runner.run_algorithm ~trace ~spec ~factory in
-  let b = Runner.run_algorithm ~trace ~spec ~factory in
+  let a = Runner.run_algorithm ~trace ~spec ~factory () in
+  let b = Runner.run_algorithm ~trace ~spec ~factory () in
   Alcotest.check feps "same success" a.Metrics.success_rate b.Metrics.success_rate;
-  Alcotest.(check int) "two outcomes" 2 (List.length (Runner.outcomes ~trace ~spec ~factory))
+  Alcotest.(check int) "two outcomes" 2 (List.length (Runner.outcomes ~trace ~spec ~factory ()))
+
+(* The determinism contract of the parallel layer: any jobs value gives
+   bit-identical results, because each run owns its RNG and results are
+   keyed by input index. *)
+let test_runner_parallel_deterministic () =
+  let trace = runner_trace () in
+  let spec = runner_spec 3 in
+  let check_factory name factory =
+    let seq = Runner.outcomes ~jobs:1 ~trace ~spec ~factory () in
+    let par = Runner.outcomes ~jobs:4 ~trace ~spec ~factory () in
+    Alcotest.(check bool) (name ^ ": outcomes identical") true (Stdlib.compare seq par = 0);
+    Alcotest.(check bool) (name ^ ": pooled metrics identical") true
+      (Stdlib.compare (Metrics.pool seq) (Metrics.pool par) = 0)
+  in
+  check_factory "epidemic" (fun _ -> epidemic);
+  check_factory "never" (fun _ -> never);
+  let factories = [ (fun _ -> epidemic); (fun _ -> never) ] in
+  let seq = Runner.run_many ~jobs:1 ~trace ~spec ~factories () in
+  let par = Runner.run_many ~jobs:4 ~trace ~spec ~factories () in
+  Alcotest.(check bool) "run_many identical across jobs" true (Stdlib.compare seq par = 0)
+
+let test_parallel_map () =
+  let input = Array.init 100 (fun i -> i) in
+  let sq i = i * i in
+  Alcotest.(check (array int)) "order preserved" (Array.map sq input)
+    (Core.Parallel.map ~jobs:4 sq input);
+  Alcotest.(check (array int)) "jobs=1 matches jobs=7" (Core.Parallel.map ~jobs:1 sq input)
+    (Core.Parallel.map ~jobs:7 sq input);
+  Alcotest.(check (array int)) "empty input" [||] (Core.Parallel.map ~jobs:4 sq [||]);
+  Alcotest.check_raises "worker exception propagates" (Invalid_argument "boom") (fun () ->
+      ignore (Core.Parallel.map ~jobs:4 (fun i -> if i = 63 then invalid_arg "boom" else i) input));
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Parallel.map: jobs must be >= 1") (fun () ->
+      ignore (Core.Parallel.map ~jobs:0 sq input))
 
 let () =
   Alcotest.run "psn_sim"
@@ -425,6 +513,8 @@ let () =
           Alcotest.test_case "contact end blocks exchange" `Quick test_contact_end_blocks_exchange;
           Alcotest.test_case "minimal progress" `Quick test_minimal_progress_overrides_algorithm;
           Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "negative creation rejected" `Quick test_negative_creation_rejected;
+          Alcotest.test_case "copies on direct delivery" `Quick test_copies_direct_delivery;
           Alcotest.test_case "observe_contact" `Quick test_observe_contact_called;
           Alcotest.test_case "epidemic matches oracle" `Slow test_epidemic_matches_flood_oracle;
         ] );
@@ -445,8 +535,15 @@ let () =
         [
           Alcotest.test_case "of_outcome" `Quick test_metrics_of_outcome;
           Alcotest.test_case "delays sorted" `Quick test_metrics_delays_sorted;
-          Alcotest.test_case "average" `Quick test_metrics_average;
+          Alcotest.test_case "pool" `Quick test_metrics_pool;
+          Alcotest.test_case "pool singleton and errors" `Quick
+            test_metrics_pool_singleton_and_errors;
           Alcotest.test_case "grouped" `Quick test_metrics_grouped;
         ] );
-      ("runner", [ Alcotest.test_case "deterministic" `Quick test_runner_deterministic ]);
+      ( "runner",
+        [
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "parallel deterministic" `Quick test_runner_parallel_deterministic;
+          Alcotest.test_case "parallel map" `Quick test_parallel_map;
+        ] );
     ]
