@@ -479,4 +479,107 @@ let () =
         (List.length entries) n_seeds wall_seq jobs_par wall_par cores
         (if cores = 1 then "" else "s")
         speedup identical);
+  section options "resilience" (fun () ->
+      (* The robustness claim, quantified: sweep fault intensity over
+         the six algorithms and record delivery, attempts-vs-copies
+         overhead and surviving path counts to BENCH_resilience.json.
+         Also asserts that a faulted fixed-seed run is bit-identical
+         under sequential and parallel execution. *)
+      let dataset = Dataset.infocom06_am in
+      let res_scale = { scale with E.seeds = Stdlib.max 2 (scale.E.seeds / 2 + 1) } in
+      let intensities = [ 0.; 0.5; 1.; 2. ] in
+      let study =
+        E.resilience_study ~jobs:options.jobs ~scale:res_scale ~intensities ~path_messages:30
+          dataset
+      in
+      let deterministic =
+        (* Re-run one faulted level sequentially and fanned out: the
+           plan keys every decision by entity, so metrics must match. *)
+        let trace = study.E.res_trace in
+        let plan =
+          Core.Faults.compile ~n_nodes:(Core.Trace.n_nodes trace)
+            ~horizon:(Core.Trace.horizon trace) E.default_fault_spec
+        in
+        let spec =
+          {
+            Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
+            seeds = Core.Runner.default_seeds 2;
+          }
+        in
+        let factories = List.map (fun e -> e.Core.Registry.factory) Core.Registry.paper_six in
+        let seq = Core.Runner.run_many ~jobs:1 ~faults:plan ~trace ~spec ~factories () in
+        let par =
+          Core.Runner.run_many
+            ~jobs:(Stdlib.max 4 options.jobs)
+            ~faults:plan ~trace ~spec ~factories ()
+        in
+        Stdlib.compare seq par = 0
+      in
+      let level_json (l : E.resilience_level) =
+        let algo_json (entry, (m : Core.Metrics.t)) =
+          let overhead = Core.Metrics.overhead m in
+          Printf.sprintf
+            "      { \"algorithm\": %S, \"delivery_ratio\": %.4f, \"mean_delay_s\": %s, \
+             \"copies\": %d, \"attempts\": %d, \"overhead\": %s }"
+            entry.Core.Registry.label m.Core.Metrics.success_rate
+            (if Float.is_nan m.Core.Metrics.mean_delay then "null"
+             else Printf.sprintf "%.1f" m.Core.Metrics.mean_delay)
+            m.Core.Metrics.copies m.Core.Metrics.attempts
+            (if Float.is_nan overhead then "null" else Printf.sprintf "%.3f" overhead)
+        in
+        let survival = l.E.res_survival in
+        let median f =
+          match survival with
+          | [] -> Float.nan
+          | _ -> Core.Quantile.median (Array.of_list (List.map f survival))
+        in
+        let delivered =
+          List.length (List.filter (fun s -> s.Core.Explosion.still_delivered) survival)
+        in
+        Printf.sprintf
+          "    {\n\
+          \      \"intensity\": %.2f,\n\
+          \      \"loss\": %.4f,\n\
+          \      \"crashes_per_hour\": %.3f,\n\
+          \      \"down_time_s\": %.0f,\n\
+          \      \"jitter\": %.3f,\n\
+          \      \"algorithms\": [\n\
+           %s\n\
+          \      ],\n\
+          \      \"paths\": { \"probes\": %d, \"still_delivered\": %d, \
+           \"median_baseline_paths\": %.0f, \"median_surviving_paths\": %.0f, \
+           \"median_survival_ratio\": %.3f }\n\
+          \    }"
+          l.E.res_intensity l.E.res_spec.Core.Faults.loss
+          (l.E.res_spec.Core.Faults.crash_rate *. 3600.)
+          l.E.res_spec.Core.Faults.down_time l.E.res_spec.Core.Faults.jitter
+          (String.concat ",\n" (List.map algo_json l.E.res_rows))
+          (List.length survival) delivered
+          (median (fun s -> float_of_int s.Core.Explosion.baseline_paths))
+          (median (fun s -> float_of_int s.Core.Explosion.surviving_paths))
+          (median (fun s -> s.Core.Explosion.survival_ratio))
+      in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"resilience\",\n\
+          \  \"dataset\": \"infocom06_am\",\n\
+          \  \"seeds\": %d,\n\
+          \  \"fault_seed\": %Ld,\n\
+          \  \"deterministic_across_jobs\": %b,\n\
+          \  \"levels\": [\n\
+           %s\n\
+          \  ]\n\
+           }\n"
+          res_scale.E.seeds study.E.res_base.Core.Faults.seed deterministic
+          (String.concat ",\n" (List.map level_json study.E.res_levels))
+      in
+      let oc = open_out "BENCH_resilience.json" in
+      output_string oc json;
+      close_out oc;
+      R.render_resilience
+        ~title:"Resilience: the six algorithms under injected faults (Infocom am)" study
+      ^ Printf.sprintf
+          "\nfaulted run bit-identical across --jobs: %b\n(written to BENCH_resilience.json)"
+          deterministic);
   if options.micro && wanted options "micro" then micro_benchmarks ()

@@ -1,13 +1,23 @@
 (* psn: command-line interface to the PSN path-diversity library.
 
-   Subcommands: generate, info, paths, explosion, simulate, experiment,
-   model. Run `psn --help` or `psn <cmd> --help` for details. *)
+   Subcommands: generate, info, paths, explosion, simulate, resilience,
+   experiment, model. Run `psn --help` or `psn <cmd> --help` for
+   details. *)
 
 open Cmdliner
 
 let exit_err msg =
   Printf.eprintf "psn: %s\n" msg;
   exit 1
+
+(* Library validation errors (Invalid_argument) and I/O failures
+   (Sys_error) triggered by user-supplied values must reach the user as
+   one stderr line and a non-zero exit, not a backtrace. *)
+let or_die f =
+  match f () with
+  | v -> v
+  | exception Invalid_argument msg -> exit_err msg
+  | exception Sys_error msg -> exit_err msg
 
 (* --- shared arguments --- *)
 
@@ -36,7 +46,10 @@ let resolve_trace dataset_name seed trace_path =
     | Error native_err -> (
       match Core.Trace_io.load_whitespace path with
       | Ok trace -> (Printf.sprintf "file:%s" path, trace)
-      | Error _ -> exit_err (Printf.sprintf "cannot load %s: %s" path native_err)))
+      | Error ws_err ->
+        exit_err
+          (Printf.sprintf "cannot load %s:\n  as psn-trace: %s\n  as whitespace trace: %s" path
+             native_err ws_err)))
   | None -> (
     match Core.Dataset.find dataset_name with
     | Error msg -> exit_err msg
@@ -70,7 +83,7 @@ let generate_cmd =
     | Error msg -> exit_err msg
     | Ok d ->
       let trace = Core.Dataset.generate ?seed d in
-      Core.Trace_io.save trace ~path:output;
+      or_die (fun () -> Core.Trace_io.save trace ~path:output);
       Format.printf "wrote %s: %a@." output Core.Trace.pp_stats trace
   in
   let term = Term.(const run $ dataset_arg $ seed_arg $ output) in
@@ -195,6 +208,7 @@ let simulate_cmd =
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
   let run dataset seed trace_path algorithms seeds jobs =
     let jobs = resolve_jobs jobs in
+    if seeds < 1 then exit_err "--seeds must be at least 1";
     let label, trace = resolve_trace dataset seed trace_path in
     let entries =
       match algorithms with
@@ -214,9 +228,10 @@ let simulate_cmd =
     in
     (* One batch over the whole algorithm × seed grid. *)
     let metrics =
-      Core.Runner.run_many ~jobs ~trace ~spec
-        ~factories:(List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
-        ()
+      or_die (fun () ->
+          Core.Runner.run_many ~jobs ~trace ~spec
+            ~factories:(List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
+            ())
     in
     let rows =
       List.map2 (fun (e : Core.Registry.entry) m -> (e.Core.Registry.label, m)) entries metrics
@@ -231,6 +246,111 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
+    term
+
+(* --- resilience --- *)
+
+let resilience_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.2
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Per-transfer loss probability at intensity 1 (in [0, 1)).")
+  in
+  let crash_rate =
+    Arg.(
+      value & opt float 2.
+      & info [ "crash-rate" ] ~docv:"PER_HOUR"
+          ~doc:"Node crashes per hour at intensity 1.")
+  in
+  let down_time =
+    Arg.(
+      value & opt float 300.
+      & info [ "down-time" ] ~docv:"SECONDS" ~doc:"Mean downtime per crash, seconds.")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.3
+      & info [ "jitter" ] ~docv:"FRAC"
+          ~doc:"Maximum fraction of each contact truncated at intensity 1 (in [0, 1]).")
+  in
+  let intensities =
+    Arg.(
+      value & opt string "0,0.5,1,2"
+      & info [ "intensities" ] ~docv:"X,Y,..."
+          ~doc:"Comma-separated intensity multipliers applied to the fault spec.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int64 99L
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of every fault decision.")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Workload runs to average per level.")
+  in
+  let probes =
+    Arg.(
+      value & opt int 40
+      & info [ "probes" ] ~docv:"N"
+          ~doc:"Messages whose path survival is enumerated per level.")
+  in
+  let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs =
+    let jobs = resolve_jobs jobs in
+    if seeds < 1 then exit_err "--seeds must be at least 1";
+    if probes < 1 then exit_err "--probes must be at least 1";
+    let base =
+      {
+        Core.Faults.loss;
+        crash_rate = crash_rate /. 3600.;
+        down_time;
+        jitter;
+        seed = fault_seed;
+      }
+    in
+    (match Core.Faults.validate base with
+    | Error msg -> exit_err msg
+    | Ok () -> ());
+    let intensities =
+      String.split_on_char ',' intensities
+      |> List.map (fun s ->
+             match float_of_string_opt (String.trim s) with
+             | Some x when Float.is_finite x && x >= 0. -> x
+             | Some _ | None -> exit_err (Printf.sprintf "bad intensity %S" (String.trim s)))
+    in
+    if intensities = [] then exit_err "--intensities must name at least one level";
+    match Core.Dataset.find dataset with
+    | Error msg -> exit_err msg
+    | Ok d ->
+      let scale =
+        {
+          Core.Experiments.default_scale with
+          Core.Experiments.seeds;
+          rng_seed = Option.value seed ~default:17L;
+        }
+      in
+      let study =
+        or_die (fun () ->
+            Core.Experiments.resilience_study ~jobs ~scale ~base ~intensities
+              ~path_messages:probes d)
+      in
+      print_endline
+        (Core.Report.render_resilience
+           ~title:
+             (Printf.sprintf "Resilience: the paper's six algorithms under injected faults (%s)"
+                d.Core.Dataset.label)
+           study)
+  in
+  let term =
+    Term.(
+      const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
+      $ fault_seed $ seeds $ probes $ jobs_arg)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Stress-test the path-explosion robustness claim: sweep deterministic fault intensity \
+          (transfer loss, node crashes, contact truncation) over all six paper algorithms and \
+          report delivery, overhead and surviving path counts.")
     term
 
 (* --- experiment --- *)
@@ -457,6 +577,7 @@ let main_cmd =
       paths_cmd;
       explosion_cmd;
       simulate_cmd;
+      resilience_cmd;
       experiment_cmd;
       intercontact_cmd;
       communities_cmd;

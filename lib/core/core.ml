@@ -11,7 +11,7 @@
       {!Classify}, {!Hops};
     - analytics: {!Homogeneous}, {!Inhomogeneous}, {!Montecarlo}, {!Ode};
     - forwarding evaluation: {!Message}, {!Workload}, {!Algorithm},
-      {!Engine}, {!Metrics}, {!Runner}, {!Registry};
+      {!Engine}, {!Faults}, {!Metrics}, {!Runner}, {!Registry};
     - experiment drivers: {!Experiments}, {!Report};
     - utilities: {!Rng}, {!Dist}, and the statistics toolbox
       ({!Summary}, {!Quantile}, {!Cdf}, {!Histogram}, {!Boxplot},
@@ -80,6 +80,7 @@ module Message = Psn_sim.Message
 module Workload = Psn_sim.Workload
 module Algorithm = Psn_sim.Algorithm
 module Engine = Psn_sim.Engine
+module Faults = Psn_sim.Faults
 module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel

@@ -13,6 +13,7 @@ module Metrics = Psn_sim.Metrics
 module Message = Psn_sim.Message
 module Workload = Psn_sim.Workload
 module Parallel = Psn_sim.Parallel
+module Faults = Psn_sim.Faults
 
 type scale = {
   n_messages : int;
@@ -245,7 +246,10 @@ let fig10 study =
 let pooled_outcome (e : Registry.entry) outcomes =
   let records = List.concat_map (fun o -> Array.to_list o.Engine.records) outcomes in
   let copies = List.fold_left (fun acc (o : Engine.outcome) -> acc + o.Engine.copies) 0 outcomes in
-  { Engine.algorithm = e.Registry.label; records = Array.of_list records; copies }
+  let attempts =
+    List.fold_left (fun acc (o : Engine.outcome) -> acc + o.Engine.attempts) 0 outcomes
+  in
+  { Engine.algorithm = e.Registry.label; records = Array.of_list records; copies; attempts }
 
 let fig13 study =
   let grouped_by_algorithm =
@@ -276,6 +280,7 @@ let fig13 study =
                   mean_delay = Float.nan;
                   median_delay = Float.nan;
                   copies = 0;
+                  attempts = 0;
                 }
             in
             (e.Registry.label, metrics))
@@ -328,6 +333,85 @@ let fig12 ?(entries = Registry.paper_six) study ~n_examples =
         algorithm_offsets;
       })
     chosen
+
+(* ---- Resilience study (fault injection) ---- *)
+
+type resilience_level = {
+  res_intensity : float;
+  res_spec : Faults.spec;
+  res_rows : (Registry.entry * Metrics.t) list;
+  res_survival : Psn_paths.Explosion.survival list;
+}
+
+type resilience_study = {
+  res_dataset : Dataset.t;
+  res_trace : Trace.t;
+  res_scale : scale;
+  res_base : Faults.spec;
+  res_levels : resilience_level list;
+}
+
+(* At intensity 1: 20% of transfers lost, ~1.7 crashes per node over a
+   3 h window (5 min mean repair), up to 30% of each contact truncated
+   — a hostile venue, yet far from partitioning the contact graph. *)
+let default_fault_spec =
+  { Faults.loss = 0.2; crash_rate = 2. /. 3600.; down_time = 300.; jitter = 0.3; seed = 99L }
+
+let default_intensities = [ 0.; 0.5; 1.; 2. ]
+
+let resilience_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_six)
+    ?(base = default_fault_spec) ?(intensities = default_intensities) ?(path_messages = 40)
+    dataset =
+  (match Faults.validate base with
+  | Error msg -> invalid_arg ("Experiments.resilience_study: " ^ msg)
+  | Ok () -> ());
+  let trace = Dataset.generate dataset in
+  let n_nodes = Trace.n_nodes trace in
+  let spec =
+    {
+      Psn_sim.Runner.workload = Workload.paper_spec ~n_nodes;
+      seeds = Psn_sim.Runner.default_seeds scale.seeds;
+    }
+  in
+  (* Path-survival probes: the same message specs are enumerated on the
+     pristine trace once and on every degraded trace, so each level's
+     survival is a paired comparison. All RNG draws happen up front. *)
+  let probes =
+    let rng = Rng.create ~seed:(Int64.logxor 0x5245534cL (Int64.logxor scale.rng_seed dataset.Dataset.seed)) () in
+    Array.init path_messages (fun _ -> random_message rng trace)
+  in
+  let config =
+    { Enumerate.k = scale.k; max_hops = None; stop_at_total = Some scale.n_explosion; exhaustive = false }
+  in
+  let enumerate_all snap =
+    Parallel.map ?jobs
+      (fun (src, dst, t_create) -> Enumerate.run ~config snap ~src ~dst ~t_create)
+      probes
+  in
+  let baseline = enumerate_all (Snapshot.of_trace trace) in
+  let factories = List.map (fun (e : Registry.entry) -> e.Registry.factory) entries in
+  let levels =
+    List.map
+      (fun intensity ->
+        let level_spec = Faults.scale intensity base in
+        let plan = Faults.compile ~n_nodes ~horizon:(Trace.horizon trace) level_spec in
+        let metrics =
+          Psn_sim.Runner.run_many ?jobs ~faults:plan ~trace ~spec ~factories ()
+        in
+        let degraded = enumerate_all (Snapshot.of_trace (Faults.degrade plan trace)) in
+        let survival =
+          List.init path_messages (fun i ->
+              Psn_paths.Explosion.survival ~baseline:baseline.(i) ~degraded:degraded.(i))
+        in
+        {
+          res_intensity = intensity;
+          res_spec = level_spec;
+          res_rows = List.combine entries metrics;
+          res_survival = survival;
+        })
+      intensities
+  in
+  { res_dataset = dataset; res_trace = trace; res_scale = scale; res_base = base; res_levels = levels }
 
 (* ---- Analytic-model tables ---- *)
 

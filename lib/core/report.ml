@@ -141,11 +141,14 @@ let metrics_row (label, (m : Metrics.t)) =
     string_of_int m.Metrics.delivered;
     string_of_int m.Metrics.messages;
     string_of_int m.Metrics.copies;
+    (let o = Metrics.overhead m in
+     if Float.is_nan o then "-" else Printf.sprintf "%.2f" o);
   ]
 
-let metrics_header = [ "algorithm"; "success"; "mean delay"; "median"; "delivered"; "msgs"; "copies" ]
+let metrics_header =
+  [ "algorithm"; "success"; "mean delay"; "median"; "delivered"; "msgs"; "copies"; "overhead" ]
 
-let metrics_align = [ Table.Left; Table.Right; Right; Right; Right; Right; Right ]
+let metrics_align = [ Table.Left; Table.Right; Right; Right; Right; Right; Right; Right ]
 
 let render_metrics ~title rows =
   heading title (Table.render ~align:metrics_align ~header:metrics_header (List.map metrics_row rows))
@@ -160,6 +163,44 @@ let render_metrics_by_pair ~title groups =
     |> String.concat "\n"
   in
   heading title body
+
+let render_resilience ~title (study : Experiments.resilience_study) =
+  let module Explosion = Psn_paths.Explosion in
+  let module Faults = Psn_sim.Faults in
+  let med of_survival survivals =
+    match List.filter_map of_survival survivals with
+    | [] -> Float.nan
+    | vs -> Psn_stats.Quantile.median (Array.of_list vs)
+  in
+  let level_block (l : Experiments.resilience_level) =
+    let rows =
+      List.map
+        (fun ((e : Psn_forwarding.Registry.entry), m) -> metrics_row (e.Psn_forwarding.Registry.label, m))
+        l.Experiments.res_rows
+    in
+    let n_probes = List.length l.Experiments.res_survival in
+    let delivered =
+      List.length (List.filter (fun s -> s.Explosion.still_delivered) l.Experiments.res_survival)
+    in
+    let baseline_med =
+      med (fun s -> Some (float_of_int s.Explosion.baseline_paths)) l.Experiments.res_survival
+    in
+    let surviving_med =
+      med (fun s -> Some (float_of_int s.Explosion.surviving_paths)) l.Experiments.res_survival
+    in
+    let ratio_med = med (fun s -> Some s.Explosion.survival_ratio) l.Experiments.res_survival in
+    let penalty_med = med (fun s -> s.Explosion.delay_penalty) l.Experiments.res_survival in
+    Printf.sprintf "-- intensity %.2f: %s --\n%s\npaths: median %.0f -> %.0f surviving (ratio %.2f), %d/%d probes still delivered%s"
+      l.Experiments.res_intensity
+      (Format.asprintf "%a" Faults.pp_spec l.Experiments.res_spec)
+      (Table.render ~align:metrics_align ~header:metrics_header rows)
+      baseline_med surviving_med ratio_med delivered n_probes
+      (if Float.is_nan penalty_med then "" else Printf.sprintf ", median delay penalty %+.0f s" penalty_med)
+  in
+  heading title
+    (String.concat "\n\n" (List.map level_block study.Experiments.res_levels)
+    ^ "\n\n(graceful degradation = success falls sublinearly in intensity while surviving\n\
+       path counts stay large; overhead = attempted transfers per successful copy)")
 
 let render_cumulative ~title staircase =
   match Array.length staircase with

@@ -48,6 +48,32 @@ let arrivals_relative_to_t1 (result : Enumerate.result) =
     Array.to_list result.Enumerate.arrivals
     |> List.map (fun (a : Enumerate.arrival) -> a.Enumerate.time -. t1)
 
+type survival = {
+  baseline_paths : int;
+  surviving_paths : int;
+  survival_ratio : float;
+  still_delivered : bool;
+  delay_penalty : float option;
+}
+
+let survival ~baseline ~degraded =
+  let b = Array.length baseline.Enumerate.arrivals in
+  let s = Array.length degraded.Enumerate.arrivals in
+  let first (r : Enumerate.result) =
+    if Array.length r.Enumerate.arrivals = 0 then None
+    else Some r.Enumerate.arrivals.(0).Enumerate.time
+  in
+  {
+    baseline_paths = b;
+    surviving_paths = s;
+    survival_ratio = (if b = 0 then 1. else float_of_int s /. float_of_int b);
+    still_delivered = s > 0;
+    delay_penalty =
+      (match (first baseline, first degraded) with
+      | Some t_b, Some t_d -> Some (t_d -. t_b)
+      | _, _ -> None);
+  }
+
 let growth_rate result =
   match cumulative result with
   | [] | [ _ ] -> None

@@ -27,6 +27,28 @@ val arrivals_relative_to_t1 : Enumerate.result -> float list
 (** Each arrival's delay after the first arrival — the raw data behind
     Fig. 6's histogram. Empty when nothing was delivered. *)
 
+type survival = {
+  baseline_paths : int;  (** Arrivals enumerated on the pristine trace. *)
+  surviving_paths : int;  (** Arrivals enumerated on the fault-degraded trace. *)
+  survival_ratio : float;
+      (** [surviving / baseline]; defined as 1 when the baseline itself
+          found no path (nothing existed to lose). *)
+  still_delivered : bool;  (** The degraded trace still delivers. *)
+  delay_penalty : float option;
+      (** Degraded optimal arrival minus pristine optimal arrival, when
+          both deliver — how much the faults cost the best path. *)
+}
+
+val survival : baseline:Enumerate.result -> degraded:Enumerate.result -> survival
+(** Compare one message's enumeration on a pristine vs a fault-degraded
+    contact set (same message, same config). This is the robustness
+    reading of Figs. 4-6: when [baseline_paths] is large, losing nodes
+    and contact time should leave [still_delivered] true with a small
+    [delay_penalty], because only a vanishing fraction of the exploded
+    path set is needed. Both results are assumed to come from the same
+    enumeration config; the ratio can exceed 1 when truncation (e.g.
+    [stop_at_total]) binds in the baseline. *)
+
 val growth_rate : Enumerate.result -> Psn_stats.Regression.fit option
 (** Fit [count(t) = A e^{r (t - T1)}] over the cumulative staircase;
     [None] when fewer than two distinct arrival times exist. The

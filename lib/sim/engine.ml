@@ -1,9 +1,9 @@
 module Trace = Psn_trace.Trace
 module Contact = Psn_trace.Contact
 
-type record = { message : Message.t; delivered : float option; copies : int }
+type record = { message : Message.t; delivered : float option; copies : int; attempts : int }
 
-type outcome = { algorithm : string; records : record array; copies : int }
+type outcome = { algorithm : string; records : record array; copies : int; attempts : int }
 
 type event =
   | Contact_end of int * int
@@ -44,9 +44,10 @@ let build_events trace messages n_msgs =
   Array.sort compare_events events;
   events
 
-let run ?ttl ~trace ~messages algorithm =
+let run ?ttl ?faults ~trace ~messages algorithm =
   (match ttl with
-  | Some t when not (t > 0.) -> invalid_arg "Engine.run: ttl must be positive"
+  | Some t when not (t > 0.) ->
+    invalid_arg (Printf.sprintf "Engine.run: ttl must be positive (got %g)" t)
   | Some _ | None -> ());
   let expired (m : Message.t) time =
     match ttl with None -> false | Some t -> time > m.Message.t_create +. t
@@ -55,11 +56,23 @@ let run ?ttl ~trace ~messages algorithm =
   let horizon = Trace.horizon trace in
   List.iter
     (fun (m : Message.t) ->
-      if m.Message.src >= n || m.Message.dst >= n then
-        invalid_arg "Engine.run: message endpoint outside population";
+      let check_endpoint what id =
+        if id >= n then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.run: message %d %s n%d outside population of %d node%s" m.Message.id what
+               id n
+               (if n = 1 then "" else "s"))
+      in
+      check_endpoint "source" m.Message.src;
+      check_endpoint "destination" m.Message.dst;
       if m.Message.t_create < 0. || m.Message.t_create >= horizon then
         invalid_arg "Engine.run: message created outside trace window")
     messages;
+  (* The degraded contact set is what the run replays: downtime and
+     jitter faults never touch the event loop itself, so the schedule
+     stays a pure function of (trace, faults) — order-independent. *)
+  let trace = match faults with None -> trace | Some plan -> Faults.degrade plan trace in
   let n_msgs = List.length messages in
   let message_of = Array.make n_msgs None in
   List.iter
@@ -129,12 +142,26 @@ let run ?ttl ~trace ~messages algorithm =
   in
   let delivered = Array.make n_msgs None in
   (* Transmissions per message (relay forwards and the final delivery
-     transmission alike), plus the running total. *)
+     transmission alike), plus the running total. [attempts] counts
+     every transfer the run tried — under fault injection some attempts
+     are lost and never become copies, and the gap is the overhead the
+     resilience experiments measure. *)
   let copies_of = Array.make n_msgs 0 in
   let copies = ref 0 in
+  let attempts_of = Array.make n_msgs 0 in
+  let attempts = ref 0 in
   let transmit id =
     copies_of.(id) <- copies_of.(id) + 1;
     incr copies
+  in
+  let attempt id =
+    attempts_of.(id) <- attempts_of.(id) + 1;
+    incr attempts
+  in
+  let lost (m : Message.t) ~holder ~peer time =
+    match faults with
+    | None -> false
+    | Some plan -> Faults.transfer_fails plan ~msg:m.Message.id ~holder ~peer ~time
   in
   (* Cascading receive: instant transfers mean a fresh copy immediately
      competes for every active contact of its new holder. *)
@@ -161,16 +188,25 @@ let run ?ttl ~trace ~messages algorithm =
     let id = m.Message.id in
     if delivered.(id) = None && not (expired m time) then
       if peer = m.Message.dst then begin
-        transmit id;
-        receive m peer time
+        attempt id;
+        if not (lost m ~holder ~peer time) then begin
+          transmit id;
+          receive m peer time
+        end
       end
       else if
         (not (has_copy id peer))
         && algorithm.Algorithm.should_forward { Algorithm.time; holder; peer; message = m }
       then begin
-        algorithm.Algorithm.on_forward { Algorithm.time; holder; peer; message = m };
-        transmit id;
-        receive m peer time
+        attempt id;
+        (* A lost transfer leaves no copy at the peer, so [on_forward]
+           does not fire: replication state (e.g. spray tokens) refers
+           to copies that exist, not copies that were tried. *)
+        if not (lost m ~holder ~peer time) then begin
+          algorithm.Algorithm.on_forward { Algorithm.time; holder; peer; message = m };
+          transmit id;
+          receive m peer time
+        end
       end
   in
   let exchange a b time =
@@ -208,11 +244,12 @@ let run ?ttl ~trace ~messages algorithm =
           message = m;
           delivered = delivered.(m.Message.id);
           copies = copies_of.(m.Message.id);
+          attempts = attempts_of.(m.Message.id);
         })
       messages
     |> Array.of_list
   in
-  { algorithm = algorithm.Algorithm.name; records; copies = !copies }
+  { algorithm = algorithm.Algorithm.name; records; copies = !copies; attempts = !attempts }
 
 let delay record =
   Option.map (fun t -> t -. record.message.Message.t_create) record.delivered

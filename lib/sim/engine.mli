@@ -24,16 +24,23 @@ type record = {
           delivered at creation (source already co-located, via an
           active contact) therefore counts at least 1; an undelivered,
           never-forwarded message counts 0. *)
+  attempts : int;
+      (** Transfers tried for this message, including those lost to
+          fault injection. Always [>= copies]; equal to [copies] in a
+          fault-free run. The gap is the retransmission overhead a real
+          deployment would pay under loss. *)
 }
 
 type outcome = {
   algorithm : string;
   records : record array;  (** One per workload message, in message order. *)
   copies : int;  (** Total transmissions: sum of per-record [copies]. *)
+  attempts : int;  (** Total attempted transfers: sum of per-record [attempts]. *)
 }
 
 val run :
   ?ttl:float ->
+  ?faults:Faults.plan ->
   trace:Psn_trace.Trace.t ->
   messages:Message.t list ->
   Algorithm.t ->
@@ -41,12 +48,24 @@ val run :
 (** Simulate one run. Message endpoints must lie inside the trace
     population and creation times inside the trace window (in
     particular, a negative [t_create] is rejected); raises
-    [Invalid_argument] otherwise.
+    [Invalid_argument] otherwise, naming the offending node id and the
+    population size.
 
     [ttl], when given, bounds each message's useful lifetime: copies are
     neither transferred nor delivered past [t_create + ttl] (the paper
     assumes infinite lifetimes; the bound supports expiry ablations).
-    Must be positive. *)
+    Must be positive.
+
+    [faults], when given, injects deterministic failures: the run
+    replays the {!Faults.degrade}d contact set (node downtime, contact
+    truncation), and each attempted transfer may be lost
+    ({!Faults.transfer_fails}) — a lost transfer counts in [attempts]
+    but leaves no copy, fires no [on_forward], and delivers nothing.
+    Fault verdicts are keyed by (message, endpoints, time), never by
+    scheduling order, so faulted runs stay bit-identical for any
+    [Parallel] fan-out. Endpoint/window validation happens against the
+    pristine trace; the degraded trace keeps its population and
+    horizon. *)
 
 val delay : record -> float option
 (** Delivery delay [delivered - t_create]. *)

@@ -6,6 +6,7 @@ type t = {
   mean_delay : float;
   median_delay : float;
   copies : int;
+  attempts : int;
 }
 
 let delays (outcome : Engine.outcome) =
@@ -24,6 +25,9 @@ let of_records algorithm records =
   let copies =
     Array.fold_left (fun acc (r : Engine.record) -> acc + r.Engine.copies) 0 records
   in
+  let attempts =
+    Array.fold_left (fun acc (r : Engine.record) -> acc + r.Engine.attempts) 0 records
+  in
   let mean_delay =
     if delivered = 0 then Float.nan
     else List.fold_left ( +. ) 0. delay_list /. float_of_int delivered
@@ -40,7 +44,13 @@ let of_records algorithm records =
     mean_delay;
     median_delay;
     copies;
+    attempts;
   }
+
+(* Attempted transfers per successful transmission — 1.0 in a fault-free
+   run, rising with injected loss. [nan] when nothing was transmitted. *)
+let overhead t =
+  if t.copies = 0 then Float.nan else float_of_int t.attempts /. float_of_int t.copies
 
 let of_outcome (outcome : Engine.outcome) =
   of_records outcome.Engine.algorithm outcome.Engine.records

@@ -15,9 +15,16 @@ type t = {
   copies : int;
       (** Transmissions (relay transfers plus delivery transmissions) —
           the cost axis the paper leaves open. *)
+  attempts : int;
+      (** Attempted transfers, including those lost to fault injection;
+          equals [copies] in a fault-free run. *)
 }
 
 val of_outcome : Engine.outcome -> t
+
+val overhead : t -> float
+(** [attempts / copies] — the retransmission overhead under injected
+    loss (1.0 when fault-free, [nan] when nothing was transmitted). *)
 
 val delays : Engine.outcome -> float array
 (** Delivery delays of delivered messages, ascending — feed to

@@ -4,20 +4,22 @@ let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
 
 (* Each task owns its RNG (created from the task's seed) and its
    algorithm instance, so runs are independent and safe to fan out
-   across domains; results come back in seed order either way. *)
-let run_seed ~trace ~spec ~factory seed =
+   across domains; results come back in seed order either way. The
+   fault plan, when given, is shared read-only: its verdicts are pure
+   functions of (plan, key), so sharing cannot couple the runs. *)
+let run_seed ?faults ~trace ~spec ~factory seed =
   let rng = Psn_prng.Rng.create ~seed () in
   let messages = Workload.generate ~rng spec.workload in
-  Engine.run ~trace ~messages (factory trace)
+  Engine.run ?faults ~trace ~messages (factory trace)
 
-let outcomes ?jobs ~trace ~spec ~factory () =
+let outcomes ?jobs ?faults ~trace ~spec ~factory () =
   if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
-  Parallel.map_list ?jobs (run_seed ~trace ~spec ~factory) spec.seeds
+  Parallel.map_list ?jobs (run_seed ?faults ~trace ~spec ~factory) spec.seeds
 
-let run_algorithm ?jobs ~trace ~spec ~factory () =
-  Metrics.pool (outcomes ?jobs ~trace ~spec ~factory ())
+let run_algorithm ?jobs ?faults ~trace ~spec ~factory () =
+  Metrics.pool (outcomes ?jobs ?faults ~trace ~spec ~factory ())
 
-let outcomes_many ?jobs ~trace ~spec ~factories () =
+let outcomes_many ?jobs ?faults ~trace ~spec ~factories () =
   if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
@@ -29,9 +31,11 @@ let outcomes_many ?jobs ~trace ~spec ~factories () =
       (Array.length facs * n_seeds)
       (fun i -> (facs.(i / n_seeds), seeds.(i mod n_seeds)))
   in
-  let outs = Parallel.map ?jobs (fun (factory, seed) -> run_seed ~trace ~spec ~factory seed) tasks in
+  let outs =
+    Parallel.map ?jobs (fun (factory, seed) -> run_seed ?faults ~trace ~spec ~factory seed) tasks
+  in
   List.init (Array.length facs) (fun fi ->
       List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
 
-let run_many ?jobs ~trace ~spec ~factories () =
-  List.map Metrics.pool (outcomes_many ?jobs ~trace ~spec ~factories ())
+let run_many ?jobs ?faults ~trace ~spec ~factories () =
+  List.map Metrics.pool (outcomes_many ?jobs ?faults ~trace ~spec ~factories ())

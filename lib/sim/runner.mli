@@ -9,7 +9,12 @@
     many domains through {!Parallel}. Each run owns its RNG and
     algorithm state and results are keyed by input index, so any [jobs]
     value produces bit-identical output — [jobs] only changes wall
-    time. Defaults to {!Parallel.default_jobs}. *)
+    time. Defaults to {!Parallel.default_jobs}.
+
+    Every entry point also takes [?faults]: a compiled {!Faults.plan}
+    applied identically to every run of the batch. Fault verdicts are
+    pure functions of the plan and the faulted entity, so faulted
+    sweeps keep the bit-identical [jobs] contract. *)
 
 type run_spec = {
   workload : Workload.spec;
@@ -22,6 +27,7 @@ val default_seeds : int -> int64 list
 
 val run_algorithm :
   ?jobs:int ->
+  ?faults:Faults.plan ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -33,6 +39,7 @@ val run_algorithm :
 
 val run_many :
   ?jobs:int ->
+  ?faults:Faults.plan ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->
@@ -43,6 +50,7 @@ val run_many :
 
 val outcomes :
   ?jobs:int ->
+  ?faults:Faults.plan ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -53,6 +61,7 @@ val outcomes :
 
 val outcomes_many :
   ?jobs:int ->
+  ?faults:Faults.plan ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->

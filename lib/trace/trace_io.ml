@@ -16,7 +16,11 @@ let to_string trace =
 
 type header = { mutable nodes : int option; mutable horizon : float option }
 
-let parse_line ~lineno header contacts stationary line =
+(* Duplicates are keyed on the endpoint-normalised quadruple so that
+   "1,2,..." and "2,1,..." count as the same contact. *)
+let contact_key a b s e = ((Stdlib.min a b, Stdlib.max a b), (s, e))
+
+let parse_line ~lineno header contacts stationary seen line =
   let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
   let line = String.trim line in
   if line = "" then Ok ()
@@ -31,14 +35,14 @@ let parse_line ~lineno header contacts stationary line =
       | _ -> fail "bad node count %S" n)
     | [ "#"; "horizon"; h ] -> (
       match float_of_string_opt h with
-      | Some h when h > 0. ->
+      | Some h when Float.is_finite h && h > 0. ->
         header.horizon <- Some h;
         Ok ()
-      | _ -> fail "bad horizon %S" h)
+      | _ -> fail "bad horizon %S (must be finite and positive)" h)
     | [ "#"; "kind"; id; "stationary" ] -> (
       match int_of_string_opt id with
       | Some id when id >= 0 ->
-        stationary := id :: !stationary;
+        stationary := (id, lineno) :: !stationary;
         Ok ()
       | _ -> fail "bad kind line")
     | _ -> Ok ()  (* unknown comments are tolerated *)
@@ -48,12 +52,22 @@ let parse_line ~lineno header contacts stationary line =
     | [ a; b; s; e ] -> (
       match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt s, float_of_string_opt e)
       with
-      | Some a, Some b, Some s, Some e -> (
-        match Contact.make ~a ~b ~t_start:s ~t_end:e with
-        | c ->
-          contacts := c :: !contacts;
-          Ok ()
-        | exception Invalid_argument msg -> fail "invalid contact: %s" msg)
+      | Some a, Some b, Some s, Some e ->
+        if not (Float.is_finite s && Float.is_finite e) then
+          fail "non-finite timestamp in contact %d,%d" a b
+        else if s >= e then fail "empty or inverted interval [%g, %g)" s e
+        else begin
+          let key = contact_key a b s e in
+          match Hashtbl.find_opt seen key with
+          | Some first -> fail "duplicate contact %s (first seen at line %d)" line first
+          | None -> (
+            Hashtbl.add seen key lineno;
+            match Contact.make ~a ~b ~t_start:s ~t_end:e with
+            | c ->
+              contacts := (c, lineno) :: !contacts;
+              Ok ()
+            | exception Invalid_argument msg -> fail "invalid contact: %s" msg)
+        end
       | _ -> fail "unparseable contact fields")
     | _ -> fail "expected a,b,t_start,t_end"
   end
@@ -61,11 +75,12 @@ let parse_line ~lineno header contacts stationary line =
 let of_string text =
   let header = { nodes = None; horizon = None } in
   let contacts = ref [] and stationary = ref [] in
+  let seen = Hashtbl.create 256 in
   let lines = String.split_on_char '\n' text in
   let rec go lineno = function
     | [] -> Ok ()
     | line :: rest -> (
-      match parse_line ~lineno header contacts stationary line with
+      match parse_line ~lineno header contacts stationary seen line with
       | Ok () -> go (lineno + 1) rest
       | Error _ as e -> e)
   in
@@ -76,17 +91,29 @@ let of_string text =
     | None, _ -> Error "missing '# nodes' header"
     | _, None -> Error "missing '# horizon' header"
     | Some n, Some h -> (
-      let kinds = Array.make n Node.Mobile in
-      match
+      let check_ranges () =
         List.iter
-          (fun id ->
-            if id >= n then failwith (Printf.sprintf "stationary node %d out of range" id);
-            kinds.(id) <- Node.Stationary)
-          !stationary
-      with
+          (fun (id, lineno) ->
+            if id >= n then
+              failwith
+                (Printf.sprintf "line %d: stationary node %d outside population of %d" lineno id
+                   n))
+          (List.rev !stationary);
+        List.iter
+          (fun ((c : Contact.t), lineno) ->
+            (* [Contact.make] orders endpoints, so [b] is the larger. *)
+            if c.Contact.b >= n then
+              failwith
+                (Printf.sprintf "line %d: node id %d exceeds population of %d (from '# nodes')"
+                   lineno c.Contact.b n))
+          (List.rev !contacts)
+      in
+      match check_ranges () with
       | exception Failure msg -> Error msg
       | () -> (
-        match Trace.create ~n_nodes:n ~horizon:h ~kinds (List.rev !contacts) with
+        let kinds = Array.make n Node.Mobile in
+        List.iter (fun (id, _) -> kinds.(id) <- Node.Stationary) !stationary;
+        match Trace.create ~n_nodes:n ~horizon:h ~kinds (List.rev_map fst !contacts) with
         | exception Invalid_argument msg -> Error msg
         | trace -> (
           match Trace.validate trace with Ok () -> Ok trace | Error msg -> Error msg))))
@@ -108,7 +135,11 @@ let load ~path =
 
 let of_whitespace ?n_nodes text =
   let lines = String.split_on_char '\n' text in
+  let seen = Hashtbl.create 256 in
   let parse_line (lineno, acc) line =
+    let fail fmt =
+      Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
+    in
     let line = String.trim line in
     if line = "" || line.[0] = '#' then Ok (lineno + 1, acc)
     else begin
@@ -120,10 +151,22 @@ let of_whitespace ?n_nodes text =
         match
           (int_of_string_opt a, int_of_string_opt b, float_of_string_opt s, float_of_string_opt e)
         with
-        | Some a, Some b, Some s, Some e when a <> b && s < e ->
-          Ok (lineno + 1, (a, b, s, e) :: acc)
-        | _ -> Error (Printf.sprintf "line %d: unparseable contact %S" lineno line))
-      | _ -> Error (Printf.sprintf "line %d: expected 'id1 id2 t_start t_end'" lineno)
+        | Some a, Some b, Some s, Some e ->
+          if a < 0 || b < 0 then fail "negative node id in contact %d %d" a b
+          else if a = b then fail "self-contact at node %d" a
+          else if not (Float.is_finite s && Float.is_finite e) then
+            fail "non-finite timestamp in contact %d %d" a b
+          else if s >= e then fail "empty or inverted interval [%g, %g)" s e
+          else begin
+            let key = contact_key a b s e in
+            match Hashtbl.find_opt seen key with
+            | Some first -> fail "duplicate contact %S (first seen at line %d)" line first
+            | None ->
+              Hashtbl.add seen key lineno;
+              Ok (lineno + 1, (a, b, s, e, lineno) :: acc)
+          end
+        | _ -> fail "unparseable contact %S" line)
+      | _ -> fail "expected 'id1 id2 t_start t_end'"
     end
   in
   let rec fold state = function
@@ -134,23 +177,45 @@ let of_whitespace ?n_nodes text =
   match fold (1, []) lines with
   | Error msg -> Error msg
   | Ok (_, []) -> Error "no contacts found"
-  | Ok (_, raw) ->
+  | Ok (_, raw) -> (
     (* Shift 1-based ids down when id 0 never appears. *)
-    let min_id = List.fold_left (fun acc (a, b, _, _) -> Stdlib.min acc (Stdlib.min a b)) max_int raw in
+    let min_id =
+      List.fold_left (fun acc (a, b, _, _, _) -> Stdlib.min acc (Stdlib.min a b)) max_int raw
+    in
     let shift = if min_id >= 1 then min_id else 0 in
-    let t0 = List.fold_left (fun acc (_, _, s, _) -> Float.min acc s) Float.infinity raw in
-    let raw = List.map (fun (a, b, s, e) -> (a - shift, b - shift, s -. t0, e -. t0)) raw in
-    let max_id = List.fold_left (fun acc (a, b, _, _) -> Stdlib.max acc (Stdlib.max a b)) 0 raw in
-    let horizon = List.fold_left (fun acc (_, _, _, e) -> Float.max acc e) 0. raw in
-    let n = match n_nodes with Some n -> n | None -> max_id + 1 in
-    (match
-       List.map (fun (a, b, t_start, t_end) -> Contact.make ~a ~b ~t_start ~t_end) raw
-     with
-    | exception Invalid_argument msg -> Error msg
-    | contacts -> (
-      match Trace.create ~n_nodes:n ~horizon contacts with
+    let t0 = List.fold_left (fun acc (_, _, s, _, _) -> Float.min acc s) Float.infinity raw in
+    let raw = List.map (fun (a, b, s, e, ln) -> (a - shift, b - shift, s -. t0, e -. t0, ln)) raw in
+    let max_id =
+      List.fold_left (fun acc (a, b, _, _, _) -> Stdlib.max acc (Stdlib.max a b)) 0 raw
+    in
+    let horizon = List.fold_left (fun acc (_, _, _, e, _) -> Float.max acc e) 0. raw in
+    let range_error =
+      match n_nodes with
+      | Some n when max_id >= n ->
+        List.find_map
+          (fun (a, b, _, _, ln) ->
+            if Stdlib.max a b >= n then
+              Some
+                (Printf.sprintf
+                   "line %d: node id %d exceeds the requested population of %d%s" ln
+                   (Stdlib.max a b + shift) n
+                   (if shift > 0 then Printf.sprintf " (ids shifted down by %d)" shift else ""))
+            else None)
+          (List.rev raw)
+      | _ -> None
+    in
+    match range_error with
+    | Some msg -> Error msg
+    | None -> (
+      let n = match n_nodes with Some n -> n | None -> max_id + 1 in
+      match
+        List.map (fun (a, b, t_start, t_end, _) -> Contact.make ~a ~b ~t_start ~t_end) raw
+      with
       | exception Invalid_argument msg -> Error msg
-      | trace -> Ok trace))
+      | contacts -> (
+        match Trace.create ~n_nodes:n ~horizon contacts with
+        | exception Invalid_argument msg -> Error msg
+        | trace -> Ok trace)))
 
 let load_whitespace ?n_nodes path =
   match open_in path with

@@ -15,8 +15,12 @@ val to_string : Trace.t -> string
 (** Serialise. *)
 
 val of_string : string -> (Trace.t, string) result
-(** Parse; [Error] carries a line-numbered message. The result is
-    validated with {!Trace.validate}. *)
+(** Parse; [Error] carries a line-numbered message. Beyond shape, the
+    parser rejects non-finite or inverted contact intervals, a
+    non-finite horizon header, duplicate contact lines (endpoint order
+    ignored; the message names the first occurrence), and node ids
+    outside the '# nodes' population. The result is validated with
+    {!Trace.validate}. *)
 
 val save : Trace.t -> path:string -> unit
 (** Write to a file. Raises [Sys_error] on I/O failure. *)
@@ -34,7 +38,11 @@ val of_whitespace : ?n_nodes:int -> string -> (Trace.t, string) result
     ids may start at 0 or 1 (1-based inputs are shifted down when no id
     0 appears); [n_nodes] defaults to the largest id seen + 1, the
     horizon to the largest contact end. Timestamps are re-based so the
-    earliest contact starts at 0. *)
+    earliest contact starts at 0.
+
+    Malformed lines — negative ids, self-contacts, non-finite
+    timestamps, empty or inverted intervals, duplicates, ids beyond a
+    requested [n_nodes] — are rejected with a line-numbered [Error]. *)
 
 val load_whitespace : ?n_nodes:int -> string -> (Trace.t, string) result
 (** [load_whitespace path]: {!of_whitespace} from a file. *)

@@ -165,8 +165,11 @@ let test_engine_validation () =
     Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:10. ~t_end:20. ]
   in
   Alcotest.check_raises "endpoint range"
-    (Invalid_argument "Engine.run: message endpoint outside population") (fun () ->
-      ignore (Engine.run ~trace ~messages:[ msg ~src:0 ~dst:7 0. ] never));
+    (Invalid_argument "Engine.run: message 0 destination n7 outside population of 2 nodes")
+    (fun () -> ignore (Engine.run ~trace ~messages:[ msg ~src:0 ~dst:7 0. ] never));
+  Alcotest.check_raises "source range"
+    (Invalid_argument "Engine.run: message 0 source n9 outside population of 2 nodes")
+    (fun () -> ignore (Engine.run ~trace ~messages:[ msg ~src:9 ~dst:1 0. ] never));
   Alcotest.check_raises "duplicate ids" (Invalid_argument "Engine.run: duplicate message id")
     (fun () ->
       ignore
@@ -335,8 +338,12 @@ let test_ttl_validation () =
   let trace =
     Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:50. ~t_end:60. ]
   in
-  Alcotest.check_raises "non-positive ttl" (Invalid_argument "Engine.run: ttl must be positive")
-    (fun () -> ignore (Engine.run ~ttl:0. ~trace ~messages:[] epidemic))
+  Alcotest.check_raises "non-positive ttl"
+    (Invalid_argument "Engine.run: ttl must be positive (got 0)") (fun () ->
+      ignore (Engine.run ~ttl:0. ~trace ~messages:[] epidemic));
+  Alcotest.check_raises "negative ttl"
+    (Invalid_argument "Engine.run: ttl must be positive (got -5)") (fun () ->
+      ignore (Engine.run ~ttl:(-5.) ~trace ~messages:[] epidemic))
 
 (* --- Metrics --- *)
 
@@ -489,6 +496,178 @@ let test_parallel_map () =
     (Invalid_argument "Parallel.map: jobs must be >= 1") (fun () ->
       ignore (Core.Parallel.map ~jobs:0 sq input))
 
+(* --- Faults --- *)
+
+module Faults = Core.Faults
+
+let fault_spec =
+  { Faults.loss = 0.3; crash_rate = 0.002; down_time = 60.; jitter = 0.25; seed = 11L }
+
+let test_faults_spec_basics () =
+  Alcotest.(check bool) "none validates" true (Faults.validate Faults.none = Ok ());
+  Alcotest.(check bool) "none is null" true (Faults.is_null Faults.none);
+  Alcotest.(check bool) "spec validates" true (Faults.validate fault_spec = Ok ());
+  Alcotest.(check bool) "spec is not null" false (Faults.is_null fault_spec);
+  let rejected spec = match Faults.validate spec with Error _ -> true | Ok () -> false in
+  Alcotest.(check bool) "loss = 1 rejected" true (rejected { fault_spec with Faults.loss = 1. });
+  Alcotest.(check bool) "NaN loss rejected" true
+    (rejected { fault_spec with Faults.loss = Float.nan });
+  Alcotest.(check bool) "negative crash_rate rejected" true
+    (rejected { fault_spec with Faults.crash_rate = -1. });
+  Alcotest.(check bool) "jitter > 1 rejected" true
+    (rejected { fault_spec with Faults.jitter = 1.5 });
+  let doubled = Faults.scale 2. fault_spec in
+  Alcotest.check feps "scale doubles loss" 0.6 doubled.Faults.loss;
+  Alcotest.check feps "scale doubles crash_rate" 0.004 doubled.Faults.crash_rate;
+  Alcotest.check feps "scale keeps down_time" 60. doubled.Faults.down_time;
+  Alcotest.(check bool) "scale 0 is null" true (Faults.is_null (Faults.scale 0. fault_spec));
+  Alcotest.(check bool) "scale clamps jitter" true
+    ((Faults.scale 100. fault_spec).Faults.jitter <= 1.);
+  Alcotest.(check bool) "scale clamps loss below 1" true
+    ((Faults.scale 100. fault_spec).Faults.loss < 1.);
+  Alcotest.check_raises "negative factor" (Invalid_argument "Faults.scale: factor must be >= 0")
+    (fun () -> ignore (Faults.scale (-1.) fault_spec))
+
+let test_faults_downtime_intervals () =
+  let horizon = 5000. in
+  let plan = Faults.compile ~n_nodes:10 ~horizon fault_spec in
+  for node = 0 to 9 do
+    let intervals = Faults.downtime plan node in
+    let rec check last = function
+      | [] -> ()
+      | (d, r) :: rest ->
+        if not (d >= last && d < r && r <= horizon) then
+          Alcotest.failf "node %d: bad interval [%g, %g) after %g" node d r last;
+        check r rest
+    in
+    check 0. intervals;
+    (* node_down agrees with the interval list *)
+    List.iter
+      (fun (d, r) ->
+        Alcotest.(check bool) "down at crash" true (Faults.node_down plan node d);
+        Alcotest.(check bool) "up at recovery" false (Faults.node_down plan node r);
+        Alcotest.(check bool) "down mid-interval" true
+          (Faults.node_down plan node ((d +. r) /. 2.)))
+      intervals
+  done;
+  Alcotest.check_raises "node out of range" (Invalid_argument "Faults.downtime: node out of range")
+    (fun () -> ignore (Faults.downtime plan 10));
+  (* a null spec compiles to an empty plan *)
+  let null_plan = Faults.compile ~n_nodes:10 ~horizon Faults.none in
+  for node = 0 to 9 do
+    Alcotest.(check (list (pair (float 0.) (float 0.)))) "no downtime" []
+      (Faults.downtime null_plan node)
+  done
+
+let test_faults_degrade () =
+  let trace = runner_trace () in
+  let horizon = Trace.horizon trace in
+  let null_plan = Faults.compile ~n_nodes:(Trace.n_nodes trace) ~horizon Faults.none in
+  Alcotest.(check bool) "null plan returns the trace itself" true
+    (Faults.degrade null_plan trace == trace);
+  let plan = Faults.compile ~n_nodes:(Trace.n_nodes trace) ~horizon fault_spec in
+  let degraded = Faults.degrade plan trace in
+  Alcotest.(check int) "population preserved" (Trace.n_nodes trace) (Trace.n_nodes degraded);
+  Alcotest.check feps "horizon preserved" horizon (Trace.horizon degraded);
+  Alcotest.(check bool) "no contact created" true
+    (Trace.n_contacts degraded <= Trace.n_contacts trace);
+  let originals = ref [] in
+  Trace.iter_contacts trace (fun c -> originals := c :: !originals);
+  Trace.iter_contacts degraded (fun (c : Contact.t) ->
+      (* every degraded contact nests inside an original of the same pair *)
+      let nested =
+        List.exists
+          (fun (o : Contact.t) ->
+            o.Contact.a = c.Contact.a && o.Contact.b = c.Contact.b
+            && c.Contact.t_start >= o.Contact.t_start
+            && c.Contact.t_end <= o.Contact.t_end)
+          !originals
+      in
+      if not nested then Alcotest.failf "degraded contact not inside an original";
+      (* and never overlaps an endpoint's downtime *)
+      List.iter
+        (fun node ->
+          List.iter
+            (fun (d, r) ->
+              if c.Contact.t_start < r && c.Contact.t_end > d then
+                Alcotest.failf "contact [%g, %g) overlaps node %d downtime [%g, %g)"
+                  c.Contact.t_start c.Contact.t_end node d r)
+            (Faults.downtime plan node))
+        [ c.Contact.a; c.Contact.b ];
+      (* degradation is deterministic *)
+      ());
+  Alcotest.(check bool) "degrade is reproducible" true
+    (Stdlib.compare (Faults.degrade plan trace) degraded = 0)
+
+let test_faults_transfer_loss () =
+  let horizon = 1000. in
+  let plan = Faults.compile ~n_nodes:6 ~horizon fault_spec in
+  let verdict msg time = Faults.transfer_fails plan ~msg ~holder:0 ~peer:1 ~time in
+  (* pure: replaying the same key gives the same verdict *)
+  for m = 0 to 50 do
+    Alcotest.(check bool) "stable verdict" (verdict m 10.) (verdict m 10.)
+  done;
+  (* frequency tracks the configured probability *)
+  let fails = ref 0 and total = 4000 in
+  for m = 0 to total - 1 do
+    if verdict m (float_of_int m) then incr fails
+  done;
+  let rate = float_of_int !fails /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical loss %.3f near 0.3" rate)
+    true
+    (rate > 0.25 && rate < 0.35);
+  (* a zero-loss plan never fails a transfer *)
+  let lossless = Faults.compile ~n_nodes:6 ~horizon { fault_spec with Faults.loss = 0. } in
+  for m = 0 to 200 do
+    Alcotest.(check bool) "lossless" false
+      (Faults.transfer_fails lossless ~msg:m ~holder:2 ~peer:3 ~time:5.)
+  done
+
+let test_engine_attempts () =
+  let trace = runner_trace () in
+  let messages =
+    Workload.generate
+      ~rng:(Rng.create ~seed:5L ())
+      { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 }
+  in
+  let clean = Engine.run ~trace ~messages epidemic in
+  Alcotest.(check int) "fault-free attempts equal copies" clean.Engine.copies
+    clean.Engine.attempts;
+  Alcotest.check feps "fault-free overhead is 1" 1.
+    (Metrics.overhead (Metrics.of_outcome clean));
+  let lossy =
+    Faults.compile ~n_nodes:(Trace.n_nodes trace) ~horizon:(Trace.horizon trace)
+      { Faults.none with Faults.loss = 0.5; seed = 21L }
+  in
+  let faulted = Engine.run ~faults:lossy ~trace ~messages epidemic in
+  Alcotest.(check bool) "lost transfers still count as attempts" true
+    (faulted.Engine.attempts > faulted.Engine.copies);
+  Alcotest.(check bool) "loss cannot add copies" true
+    (faulted.Engine.copies <= clean.Engine.copies)
+
+(* The acceptance-criteria test: a faulted fixed-seed run is
+   bit-identical whatever the domain count, because every fault verdict
+   is keyed by entity, never by scheduling order. *)
+let test_faulted_runner_deterministic () =
+  let trace = runner_trace () in
+  let spec = runner_spec 3 in
+  let plan =
+    Faults.compile ~n_nodes:(Trace.n_nodes trace) ~horizon:(Trace.horizon trace) fault_spec
+  in
+  let factories = [ (fun _ -> epidemic); (fun _ -> never) ] in
+  let seq = Runner.run_many ~jobs:1 ~faults:plan ~trace ~spec ~factories () in
+  let par = Runner.run_many ~jobs:4 ~faults:plan ~trace ~spec ~factories () in
+  Alcotest.(check bool) "faulted run_many identical across jobs" true
+    (Stdlib.compare seq par = 0);
+  let seq_o = Runner.outcomes ~jobs:1 ~faults:plan ~trace ~spec ~factory:(fun _ -> epidemic) () in
+  let par_o = Runner.outcomes ~jobs:4 ~faults:plan ~trace ~spec ~factory:(fun _ -> epidemic) () in
+  Alcotest.(check bool) "faulted outcomes identical across jobs" true
+    (Stdlib.compare seq_o par_o = 0);
+  (* faults change results (the plan is actually consulted) *)
+  let clean = Runner.outcomes ~jobs:1 ~trace ~spec ~factory:(fun _ -> epidemic) () in
+  Alcotest.(check bool) "faults alter the outcome" true (Stdlib.compare clean seq_o <> 0)
+
 let () =
   Alcotest.run "psn_sim"
     [
@@ -545,5 +724,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
           Alcotest.test_case "parallel deterministic" `Quick test_runner_parallel_deterministic;
           Alcotest.test_case "parallel map" `Quick test_parallel_map;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "spec basics" `Quick test_faults_spec_basics;
+          Alcotest.test_case "downtime intervals" `Quick test_faults_downtime_intervals;
+          Alcotest.test_case "degrade" `Quick test_faults_degrade;
+          Alcotest.test_case "transfer loss" `Quick test_faults_transfer_loss;
+          Alcotest.test_case "engine attempts" `Quick test_engine_attempts;
+          Alcotest.test_case "faulted parallel deterministic" `Quick
+            test_faulted_runner_deterministic;
         ] );
     ]

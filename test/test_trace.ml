@@ -193,6 +193,53 @@ let test_io_whitespace_errors () =
   | Ok _ -> Alcotest.fail "accepted empty"
   | Error _ -> ()
 
+let check_rejects name parse ~contains text =
+  match parse text with
+  | Ok _ -> Alcotest.failf "%s: accepted %S" name text
+  | Error msg ->
+    let present =
+      let n = String.length contains in
+      let rec scan i =
+        i + n <= String.length msg && (String.sub msg i n = contains || scan (i + 1))
+      in
+      scan 0
+    in
+    if not present then Alcotest.failf "%s: error %S does not mention %S" name msg contains
+
+let test_io_hardening () =
+  let header = "# psn-trace v1\n# nodes 3\n# horizon 100\n" in
+  let reject = check_rejects "of_string" Trace_io.of_string in
+  reject ~contains:"bad horizon" "# psn-trace v1\n# nodes 3\n# horizon inf\n0,1,1,2\n";
+  reject ~contains:"bad horizon" "# psn-trace v1\n# nodes 3\n# horizon nan\n0,1,1,2\n";
+  reject ~contains:"line 4" (header ^ "0,1,nan,2\n");
+  reject ~contains:"non-finite" (header ^ "0,1,1,inf\n");
+  reject ~contains:"inverted" (header ^ "0,1,5,2\n");
+  reject ~contains:"line 5" (header ^ "0,1,1,2\n0,1,1,2\n");
+  reject ~contains:"first seen at line 4" (header ^ "0,1,1,2\n1,0,1,2\n");
+  reject ~contains:"line 4: node id 7" (header ^ "0,7,1,2\n");
+  reject ~contains:"stationary node 9" (header ^ "# kind 9 stationary\n0,1,1,2\n");
+  (* distinct intervals of the same pair are not duplicates *)
+  match Trace_io.of_string (header ^ "0,1,1,2\n0,1,3,4\n") with
+  | Ok t -> Alcotest.(check int) "same-pair reuse ok" 2 (Trace.n_contacts t)
+  | Error msg -> Alcotest.failf "rejected legitimate reuse: %s" msg
+
+let test_io_whitespace_hardening () =
+  let reject = check_rejects "of_whitespace" (Trace_io.of_whitespace ?n_nodes:None) in
+  reject ~contains:"negative node id" "-1 2 10 20\n";
+  reject ~contains:"self-contact" "2 2 10 20\n";
+  reject ~contains:"non-finite" "1 2 nan 20\n";
+  reject ~contains:"line 2" "1 2 10 20\n1 2 30 inf\n";
+  reject ~contains:"inverted" "1 2 20 10\n";
+  reject ~contains:"first seen at line 1" "1 2 10 20\n2 1 10 20\n";
+  (match Trace_io.of_whitespace ~n_nodes:2 "1 2 10 20\n1 3 30 40\n" with
+  | Ok _ -> Alcotest.fail "accepted id beyond requested population"
+  | Error msg ->
+    Alcotest.(check bool) (Printf.sprintf "names the line: %s" msg) true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 2"));
+  match Trace_io.of_whitespace "1 2 10 20\n2 3 15 25\n" with
+  | Ok t -> Alcotest.(check int) "clean input still parses" 2 (Trace.n_contacts t)
+  | Error msg -> Alcotest.failf "rejected clean input: %s" msg
+
 (* --- Generator --- *)
 
 let quick_config =
@@ -447,7 +494,52 @@ let qcheck_tests =
             if a = b then None else Some (Contact.make ~a ~b ~t_start:s ~t_end:(s +. d)))
           raw
       in
+      (* Contacts whose serialised forms collide would (correctly) trip
+         the parser's duplicate-line rejection; drop them here so the
+         round-trip properties quantify over serialisable traces. *)
+      let seen = Hashtbl.create 64 in
+      let contacts =
+        List.filter
+          (fun (c : Contact.t) ->
+            let key =
+              Printf.sprintf "%d,%d,%.6g,%.6g" c.Contact.a c.Contact.b c.Contact.t_start
+                c.Contact.t_end
+            in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          contacts
+      in
       return (Trace.create ~n_nodes ~horizon:120. contacts))
+  in
+  let corrupt_contact_line mode text n_nodes =
+    (* Locate the first contact line and damage it; returns None when
+       the trace has no contacts. *)
+    let lines = String.split_on_char '\n' text in
+    let is_contact l =
+      let l = String.trim l in
+      l <> "" && l.[0] <> '#'
+    in
+    match List.find_index is_contact lines with
+    | None -> None
+    | Some i ->
+      let line = List.nth lines i in
+      let fields = String.split_on_char ',' line in
+      let damaged =
+        match (mode, fields) with
+        | 0, [ a; b; s; e ] -> [ String.concat "," [ a; b; e; s ] ] (* inverted interval *)
+        | 1, [ a; b; _; e ] -> [ String.concat "," [ a; b; "nan"; e ] ]
+        | 2, _ -> [ line; line ] (* duplicate line *)
+        | _, [ _; b; s; e ] ->
+          [ String.concat "," [ string_of_int (n_nodes + 5); b; s; e ] ] (* id out of range *)
+        | _ -> [ line ]
+      in
+      let lines =
+        List.concat (List.mapi (fun j l -> if j = i then damaged else [ l ]) lines)
+      in
+      Some (String.concat "\n" lines)
   in
   [
     Test.make ~name:"trace io round-trips" ~count:100 gen_trace (fun t ->
@@ -457,6 +549,17 @@ let qcheck_tests =
           Trace.n_nodes t = Trace.n_nodes t'
           && Trace.n_contacts t = Trace.n_contacts t'
           && Trace.horizon t = Trace.horizon t');
+    Test.make ~name:"trace io serialise-parse fixed point" ~count:100 gen_trace (fun t ->
+        match Trace_io.of_string (Trace_io.to_string t) with
+        | Error _ -> false
+        | Ok t' -> String.equal (Trace_io.to_string t') (Trace_io.to_string t));
+    Test.make ~name:"corrupted contact lines rejected" ~count:100
+      Gen.(pair gen_trace (int_range 0 3))
+      (fun (t, mode) ->
+        match corrupt_contact_line mode (Trace_io.to_string t) (Trace.n_nodes t) with
+        | None -> true (* no contacts to corrupt *)
+        | Some text -> (
+          match Trace_io.of_string text with Error _ -> true | Ok _ -> false));
     Test.make ~name:"generated traces validate" ~count:100 gen_trace (fun t ->
         match Trace.validate t with Ok () -> true | Error _ -> false);
     Test.make ~name:"restrict preserves validity" ~count:100 gen_trace (fun t ->
@@ -497,6 +600,8 @@ let () =
           Alcotest.test_case "file round-trip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "whitespace format" `Quick test_io_whitespace_format;
           Alcotest.test_case "whitespace errors" `Quick test_io_whitespace_errors;
+          Alcotest.test_case "hardening" `Quick test_io_hardening;
+          Alcotest.test_case "whitespace hardening" `Quick test_io_whitespace_hardening;
         ] );
       ( "generator",
         [
