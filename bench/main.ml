@@ -297,7 +297,7 @@ let () =
       let spec =
         {
           Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
-          seeds = Core.Runner.default_seeds (Stdlib.max 1 ((scale.E.seeds / 2) + 1));
+          seeds = Core.Runner.default_seeds (Int.max 1 ((scale.E.seeds / 2) + 1));
         }
       in
       let contenders =
@@ -428,7 +428,7 @@ let () =
          algorithms: same seeds, same workloads, so the metrics must be
          identical — only wall time may differ. *)
       let trace = Core.Dataset.(generate infocom06_am) in
-      let n_seeds = Stdlib.max 4 scale.E.seeds in
+      let n_seeds = Int.max 4 scale.E.seeds in
       let spec =
         {
           Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
@@ -443,10 +443,10 @@ let () =
         (Unix.gettimeofday () -. t0, metrics)
       in
       let cores = Core.Parallel.default_jobs () in
-      let jobs_par = Stdlib.max 4 (Stdlib.max options.jobs cores) in
+      let jobs_par = Int.max 4 (Int.max options.jobs cores) in
       let wall_seq, metrics_seq = time 1 in
       let wall_par, metrics_par = time jobs_par in
-      let identical = Stdlib.compare metrics_seq metrics_par = 0 in
+      let identical = List.for_all2 Core.Metrics.equal metrics_seq metrics_par in
       let speedup = wall_seq /. wall_par in
       let json =
         Printf.sprintf
@@ -486,7 +486,7 @@ let () =
          Also asserts that a faulted fixed-seed run is bit-identical
          under sequential and parallel execution. *)
       let dataset = Dataset.infocom06_am in
-      let res_scale = { scale with E.seeds = Stdlib.max 2 (scale.E.seeds / 2 + 1) } in
+      let res_scale = { scale with E.seeds = Int.max 2 (scale.E.seeds / 2 + 1) } in
       let intensities = [ 0.; 0.5; 1.; 2. ] in
       let study =
         E.resilience_study ~jobs:options.jobs ~scale:res_scale ~intensities ~path_messages:30
@@ -510,10 +510,10 @@ let () =
         let seq = Core.Runner.run_many ~jobs:1 ~faults:plan ~trace ~spec ~factories () in
         let par =
           Core.Runner.run_many
-            ~jobs:(Stdlib.max 4 options.jobs)
+            ~jobs:(Int.max 4 options.jobs)
             ~faults:plan ~trace ~spec ~factories ()
         in
-        Stdlib.compare seq par = 0
+        List.for_all2 Core.Metrics.equal seq par
       in
       let level_json (l : E.resilience_level) =
         let algo_json (entry, (m : Core.Metrics.t)) =

@@ -317,7 +317,7 @@ let resilience_cmd =
              | Some x when Float.is_finite x && x >= 0. -> x
              | Some _ | None -> exit_err (Printf.sprintf "bad intensity %S" (String.trim s)))
     in
-    if intensities = [] then exit_err "--intensities must name at least one level";
+    if List.is_empty intensities then exit_err "--intensities must name at least one level";
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -469,7 +469,7 @@ let intercontact_cmd =
     | None -> Format.printf "  Hill tail exponent: (insufficient tail)@.");
     Format.printf "CCDF sample points (x, P[X>x]):@.";
     let points = Core.Intercontact.ccdf gaps in
-    let step = Stdlib.max 1 (List.length points / 10) in
+    let step = Int.max 1 (List.length points / 10) in
     List.iteri
       (fun i (x, p) -> if i mod step = 0 then Format.printf "  %10.0f  %8.5f@." x p)
       points

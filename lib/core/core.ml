@@ -28,6 +28,9 @@
       | None -> print_endline "no explosion within the trace"
     ]} *)
 
+(* Deterministic collections *)
+module Det_tbl = Psn_det.Det_tbl
+
 (* Randomness *)
 module Rng = Psn_prng.Rng
 module Dist = Psn_prng.Dist

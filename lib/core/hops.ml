@@ -18,8 +18,7 @@ let mean_rates_by_hop classify paths =
           Summary.add summary (Classify.rate classify node))
         (Path.hops path))
     paths;
-  Hashtbl.fold (fun hop summary acc -> (hop, summary) :: acc) by_hop []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  Psn_det.Det_tbl.bindings ~cmp:Int.compare by_hop
   |> List.map (fun (hop, summary) ->
          (hop, summary, Psn_stats.Confint.of_summary summary Psn_stats.Confint.C99))
 
@@ -41,7 +40,7 @@ let rate_ratios_by_hop classify paths =
             let ratio = rb /. ra in
             (* The last transition is destination-over-last-relay, kept
                apart as in the paper's final box. *)
-            if rest' = [] then final := ratio :: !final else note pos ratio
+            if List.is_empty rest' then final := ratio :: !final else note pos ratio
           end;
           walk (pos + 1) rest
         | [ _ ] | [] -> ()
@@ -49,10 +48,10 @@ let rate_ratios_by_hop classify paths =
       walk 0 nodes)
     paths;
   let positions =
-    Hashtbl.fold (fun pos cell acc -> (pos, !cell) :: acc) by_pos []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    Psn_det.Det_tbl.bindings ~cmp:Int.compare by_pos
+    |> List.map (fun (pos, cell) -> (pos, !cell))
     |> List.map (fun (pos, ratios) ->
            (Printf.sprintf "%d/%d" (pos + 1) pos, Psn_stats.Boxplot.of_samples (Array.of_list ratios)))
   in
-  if !final = [] then positions
+  if List.is_empty !final then positions
   else positions @ [ ("Dst/Lst", Psn_stats.Boxplot.of_samples (Array.of_list !final)) ]

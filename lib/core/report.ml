@@ -6,23 +6,23 @@ let heading title body = Printf.sprintf "== %s ==\n%s" title body
 
 let sparkline counts =
   let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |] in
-  let max_count = Array.fold_left Stdlib.max 1 counts in
+  let max_count = Array.fold_left Int.max 1 counts in
   (* Compress to at most 60 cells by averaging neighbouring bins. *)
-  let cells = Stdlib.min 60 (Array.length counts) in
+  let cells = Int.min 60 (Array.length counts) in
   let per_cell = float_of_int (Array.length counts) /. float_of_int cells in
   String.init cells (fun cell ->
       let lo = int_of_float (float_of_int cell *. per_cell) in
       let hi =
-        Stdlib.min (Array.length counts) (int_of_float (float_of_int (cell + 1) *. per_cell))
+        Int.min (Array.length counts) (int_of_float (float_of_int (cell + 1) *. per_cell))
       in
-      let hi = Stdlib.max (lo + 1) hi in
+      let hi = Int.max (lo + 1) hi in
       let sum = ref 0 in
       for i = lo to hi - 1 do
         sum := !sum + counts.(i)
       done;
       let avg = float_of_int !sum /. float_of_int (hi - lo) in
       let level = int_of_float (avg /. float_of_int max_count *. 7.) in
-      glyphs.(Stdlib.max 0 (Stdlib.min 7 level)))
+      glyphs.(Int.max 0 (Int.min 7 level)))
 
 let render_timeseries ~title series =
   let rows =
@@ -114,7 +114,7 @@ let render_histogram ~title hist =
   if Array.for_all (fun c -> c = 0) counts && Psn_stats.Histogram.total hist = 0 then
     heading title "(no qualifying messages at this scale)"
   else
-  let max_count = Array.fold_left Stdlib.max 1 counts in
+  let max_count = Array.fold_left Int.max 1 counts in
   let rows =
     Array.to_list
       (Array.mapi
@@ -206,7 +206,7 @@ let render_cumulative ~title staircase =
   match Array.length staircase with
   | 0 -> heading title "(no deliveries)"
   | len ->
-    let checkpoints = Stdlib.min 12 len in
+    let checkpoints = Int.min 12 len in
     let rows =
       List.init checkpoints (fun i ->
           let idx = (i + 1) * len / checkpoints - 1 in
@@ -247,7 +247,7 @@ let render_fig12 ~title examples =
       examples
     |> String.concat "\n"
   in
-  heading title (if body = "" then "(no suitable example messages)" else body)
+  heading title (if String.equal body "" then "(no suitable example messages)" else body)
 
 let render_hop_rates ~title rows =
   let table_rows =

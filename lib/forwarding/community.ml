@@ -17,7 +17,9 @@ let adjacency trace ~min_weight =
   let n = Trace.n_nodes trace in
   let weights = contact_weights trace in
   let adj = Array.make n [] in
-  Hashtbl.iter
+  (* Key-ordered so each adjacency list's order — and with it the float
+     accumulation order in [detect]'s tally — is trace-determined. *)
+  Psn_det.Det_tbl.iter ~cmp:Int.compare
     (fun key weight ->
       if weight >= min_weight then begin
         let a = key / n and b = key mod n in
@@ -58,7 +60,7 @@ let detect ?(max_rounds = 50) ?(min_weight = 0.) trace =
     changed := false;
     incr rounds;
     for v = 0 to n - 1 do
-      if adj.(v) <> [] then begin
+      if not (List.is_empty adj.(v)) then begin
         let tally = Hashtbl.create 8 in
         List.iter
           (fun (u, weight) ->
@@ -67,9 +69,10 @@ let detect ?(max_rounds = 50) ?(min_weight = 0.) trace =
             Hashtbl.replace tally label (existing +. weight))
           adj.(v);
         let best = ref labels.(v) and best_weight = ref Float.neg_infinity in
-        Hashtbl.iter
+        Psn_det.Det_tbl.iter ~cmp:Int.compare
           (fun label weight ->
-            if weight > !best_weight || (weight = !best_weight && label < !best) then begin
+            let c = Float.compare weight !best_weight in
+            if c > 0 || (c = 0 && label < !best) then begin
               best := label;
               best_weight := weight
             end)
@@ -116,21 +119,22 @@ let modularity t trace =
   let weights = contact_weights trace in
   let degree = Array.make n 0. in
   let total = ref 0. in
-  Hashtbl.iter
+  (* Both passes sum floats: key order fixes the rounding. *)
+  Psn_det.Det_tbl.iter ~cmp:Int.compare
     (fun key weight ->
       let a = key / n and b = key mod n in
       degree.(a) <- degree.(a) +. weight;
       degree.(b) <- degree.(b) +. weight;
       total := !total +. weight)
     weights;
-  if !total = 0. then 0.
+  if Float.equal !total 0. then 0.
   else begin
     let two_m = 2. *. !total in
     let q = ref 0. in
     (* Sum over intra-community pairs of (A_ij - k_i k_j / 2m); the
        A_ij term only over existing edges, the null term over all
        same-community ordered pairs. *)
-    Hashtbl.iter
+    Psn_det.Det_tbl.iter ~cmp:Int.compare
       (fun key weight ->
         let a = key / n and b = key mod n in
         if t.labels.(a) = t.labels.(b) then q := !q +. (2. *. weight))

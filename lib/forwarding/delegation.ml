@@ -36,7 +36,7 @@ let factory ?(quality = Rate) () =
       (fun ctx ->
         let m = ctx.Algorithm.message in
         let peer_quality = measure ctx.Algorithm.peer m in
-        let raised = Stdlib.max peer_quality (threshold m ctx.Algorithm.holder) in
+        let raised = Int.max peer_quality (threshold m ctx.Algorithm.holder) in
         (* Both holder and receiver move their level up to the witness. *)
         Hashtbl.replace thresholds (m.Message.id, ctx.Algorithm.holder) raised;
         Hashtbl.replace thresholds (m.Message.id, ctx.Algorithm.peer) raised);

@@ -1,0 +1,111 @@
+(* lint.toml is read with a deliberately small TOML subset — comments,
+   an [allow] table, and one `"path-prefix" = ["rule", ...]` entry per
+   line — so the linter needs nothing beyond the compiler toolchain. *)
+
+type t = { allow : (string * string list) list }
+
+let empty = { allow = [] }
+
+let fail lineno fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
+
+(* A quoted string starting at [i] (which must point at '"'); returns
+   the contents and the index one past the closing quote. *)
+let parse_quoted lineno line i =
+  if i >= String.length line || line.[i] <> '"' then fail lineno "expected a quoted string"
+  else
+    match String.index_from_opt line (i + 1) '"' with
+    | None -> fail lineno "unterminated string"
+    | Some j -> Ok (String.sub line (i + 1) (j - i - 1), j + 1)
+
+let skip_spaces line i =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  go i
+
+let parse_rule_array lineno line i =
+  let n = String.length line in
+  let i = skip_spaces line i in
+  if i >= n || line.[i] <> '[' then fail lineno "expected '[' starting a rule list"
+  else
+    let rec elems acc i =
+      let i = skip_spaces line i in
+      if i < n && line.[i] = ']' then Ok (List.rev acc, i + 1)
+      else
+        match parse_quoted lineno line i with
+        | Error _ as e -> e
+        | Ok (rule, i) ->
+          if not (Rules.is_known rule) then fail lineno "unknown rule %S" rule
+          else
+            let i = skip_spaces line i in
+            if i < n && line.[i] = ',' then elems (rule :: acc) (i + 1)
+            else if i < n && line.[i] = ']' then Ok (List.rev (rule :: acc), i + 1)
+            else fail lineno "expected ',' or ']' in rule list"
+    in
+    elems [] (i + 1)
+
+let strip_comment line =
+  (* Only full-line comments: '#' inside quoted strings would otherwise
+     need real lexing. Trailing comments after the closing ']' are cut. *)
+  if String.length line > 0 && line.[0] = '#' then ""
+  else
+    match String.rindex_opt line ']' with
+    | Some j -> (
+      match String.index_from_opt line j '#' with
+      | Some k -> String.sub line 0 k
+      | None -> line)
+    | None -> line
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno section acc = function
+    | [] -> Ok { allow = List.rev acc }
+    | raw :: rest -> (
+      let line = String.trim (strip_comment (String.trim raw)) in
+      if String.equal line "" then go (lineno + 1) section acc rest
+      else if line.[0] = '[' then
+        if String.equal line "[allow]" then go (lineno + 1) `Allow acc rest
+        else fail lineno "unknown section %s (only [allow] is supported)" line
+      else
+        match section with
+        | `None -> fail lineno "entry outside any section"
+        | `Allow -> (
+          match parse_quoted lineno line 0 with
+          | Error _ as e -> e
+          | Ok (prefix, i) -> (
+            let i = skip_spaces line i in
+            if i >= String.length line || line.[i] <> '=' then
+              fail lineno "expected '=' after path prefix"
+            else
+              match parse_rule_array lineno line (i + 1) with
+              | Error _ as e -> e
+              | Ok (rules, i) ->
+                let rest_of_line = String.trim (String.sub line i (String.length line - i)) in
+                if not (String.equal rest_of_line "") then
+                  fail lineno "trailing junk %S" rest_of_line
+                else go (lineno + 1) section ((prefix, rules) :: acc) rest)))
+  in
+  go 1 `None [] lines
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let read () = really_input_string ic (in_channel_length ic) in
+    let text = Fun.protect ~finally:(fun () -> close_in ic) read in
+    (match of_string text with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* Paths are matched as written on the command line; normalise the
+   "./lib/foo.ml" spelling so prefixes in lint.toml stay simple. *)
+let normalize path =
+  if String.length path > 2 && String.equal (String.sub path 0 2) "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let allowed t ~path ~rule =
+  let path = normalize path in
+  List.exists
+    (fun (prefix, rules) ->
+      String.starts_with ~prefix path && List.exists (String.equal rule) rules)
+    t.allow

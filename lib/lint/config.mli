@@ -1,0 +1,20 @@
+(** The per-path allowlist from lint.toml.
+
+    The file is a small TOML subset: full-line [#] comments, a single
+    [\[allow\]] table, and one ["path-prefix" = \["rule", ...\]] entry
+    per line. Rule names are validated against {!Rules.all} at load
+    time so a typo cannot silently allow everything. *)
+
+type t
+
+val empty : t
+(** No allowances: every rule applies everywhere. *)
+
+val of_string : string -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read and parse a lint.toml; errors carry the file name and line. *)
+
+val allowed : t -> path:string -> rule:string -> bool
+(** Whether [rule] is allowlisted for [path] (prefix match on the path
+    as passed to the linter, with any leading "./" removed). *)

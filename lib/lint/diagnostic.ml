@@ -1,0 +1,47 @@
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+let make ~file ~line ~col ~rule ~message = { file; line; col; rule; message }
+
+let of_location (loc : Location.t) ~rule ~message =
+  let pos = loc.Location.loc_start in
+  {
+    file = pos.Lexing.pos_fname;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+(* Findings are reported in (file, line, col, rule) order so the output
+   is stable however the tree was walked. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json ppf t =
+  Format.fprintf ppf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape t.file) t.line t.col (json_escape t.rule) (json_escape t.message)

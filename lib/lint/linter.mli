@@ -1,0 +1,20 @@
+(** The determinism-contract pass: read-only [Ast_iterator] traversal
+    of parsed sources, reporting {!Rules} violations as
+    {!Diagnostic.t} values.
+
+    Suppression: a finding is dropped when its rule appears in a
+    [\[@@@lint.allow "rule"\]] floating attribute anywhere in the same
+    file, in a [\[@lint.allow "rule"\]] attribute on an enclosing
+    expression or binding, or in the {!Config.t} allowlist for the
+    file's path. Several rules may share one attribute, separated by
+    commas or spaces. *)
+
+val check_file : config:Config.t -> string -> Diagnostic.t list
+(** Lint one [.ml] or [.mli] file (other extensions yield no
+    findings). Unparseable files produce a single [syntax-error]
+    finding rather than an exception. *)
+
+val run : config:Config.t -> string list -> Diagnostic.t list
+(** Lint every [.ml]/[.mli] under the given files and directories
+    (recursively; entries starting with ['.'] or ['_'] are skipped)
+    and return all findings sorted by (file, line, col, rule). *)

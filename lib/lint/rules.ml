@@ -1,0 +1,88 @@
+type t = { name : string; summary : string; rationale : string }
+
+(* The determinism contract, as machine-checkable rules. Keep this list
+   in sync with the "Static enforcement of the determinism contract"
+   section of DESIGN.md: the doc explains each rule at length, this
+   table is what the CLI prints for [--rules]. *)
+let all =
+  [
+    {
+      name = "random-self-init";
+      summary = "Random.self_init seeds the ambient PRNG from the environment";
+      rationale = "A run seeded from the OS entropy pool can never be replayed; all randomness must flow from explicit Psn_prng seeds.";
+    };
+    {
+      name = "ambient-random";
+      summary = "use of the ambient Stdlib.Random generator";
+      rationale = "Stdlib.Random hides one global mutable state behind every call site, so results depend on call order across the whole program; use Psn_prng.Rng streams instead.";
+    };
+    {
+      name = "wall-clock";
+      summary = "reading the wall clock (Unix.gettimeofday, Unix.time, Sys.time, ...)";
+      rationale = "Simulation results must be a function of the trace and the seeds, never of when the process ran; only bench/ and bin/ may time themselves (via lint.toml).";
+    };
+    {
+      name = "hash-order-iteration";
+      summary = "Hashtbl.iter / Hashtbl.fold enumerate bindings in hash order";
+      rationale = "Hash order is an implementation detail that changes across compiler versions and key layouts; iterate through Psn_det.Det_tbl, which sorts bindings by key first.";
+    };
+    {
+      name = "hashtbl-hash";
+      summary = "Hashtbl.hash / seeded_hash outside the Faults keyed-hash kernel";
+      rationale = "The polymorphic hash walks representations, so a layout change silently re-keys everything; only Faults' documented keyed hashing may rely on it.";
+    };
+    {
+      name = "polymorphic-compare";
+      summary = "polymorphic compare/min/max, or =/<>/ordering on structured operands";
+      rationale = "Polymorphic comparison walks representations: it is slow, breaks on functional values, and its order on floats (NaN) and structures is too easy to change by refactoring; use Float.compare, Int.compare, String.equal, Option.is_none, List.is_empty or a derived comparator.";
+    };
+    {
+      name = "physical-equality";
+      summary = "== or != on values that may not be physically shared";
+      rationale = "Physical equality on boxed values depends on sharing, which optimisation levels and copying change freely; use structural, typed equality.";
+    };
+    {
+      name = "catch-all-exception";
+      summary = "try ... with _ -> swallows every exception";
+      rationale = "A catch-all hides Out_of_memory, Stack_overflow and genuine bugs as ordinary control flow; match the exceptions the expression can actually raise.";
+    };
+    {
+      name = "failwith";
+      summary = "failwith raises the stringly-typed Failure";
+      rationale = "Library validation errors must be Invalid_argument or a typed Error so CLI error paths stay one-line-to-stderr; Failure is indistinguishable from an internal bug.";
+    };
+    {
+      name = "obj-magic";
+      summary = "Obj.magic defeats the type system";
+      rationale = "Any unsoundness can surface as silent memory corruption, which is the worst possible nondeterminism.";
+    };
+    {
+      name = "stdout-print";
+      summary = "printing to stdout from library code";
+      rationale = "Library results must come back as values or go through a caller-supplied formatter; stdout belongs to the executables.";
+    };
+    {
+      name = "missing-mli";
+      summary = ".ml without a corresponding .mli";
+      rationale = "An unconstrained module leaks every helper as public API; interfaces are where the determinism contract of a module is stated.";
+    };
+    {
+      name = "syntax-error";
+      summary = "source file does not parse";
+      rationale = "A file the linter cannot read is a file the contract cannot cover.";
+    };
+    {
+      name = "bad-suppression";
+      summary = "malformed lint.allow attribute or unknown rule name";
+      rationale = "A typo in a suppression must surface as a finding, never as a silently widened allowance.";
+    };
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+
+let is_known name = Option.is_some (find name)
+
+let pp_list ppf () =
+  List.iter
+    (fun r -> Format.fprintf ppf "%-22s %s@.%22s   %s@." r.name r.summary "" r.rationale)
+    all

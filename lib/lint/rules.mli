@@ -1,0 +1,16 @@
+(** The rule registry: every contract the linter enforces, with the
+    rationale the CLI prints for [--rules]. *)
+
+type t = { name : string; summary : string; rationale : string }
+
+val all : t list
+(** Every rule, in documentation order. *)
+
+val find : string -> t option
+
+val is_known : string -> bool
+(** Whether [name] names a registered rule (used to reject typos in
+    suppression attributes and lint.toml). *)
+
+val pp_list : Format.formatter -> unit -> unit
+(** Render the registry, one rule per entry, for [--rules]. *)

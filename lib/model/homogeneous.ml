@@ -27,7 +27,7 @@ let derivative lambda ~t:_ ~y =
 let density_at p ~k_max ~t ?(steps = 1000) () =
   check p;
   let y0 = initial_density p ~k_max in
-  if t = 0. then y0 else Ode.rk4 ~f:(derivative p.lambda) ~y0 ~t0:0. ~t1:t ~steps
+  if Float.equal t 0. then y0 else Ode.rk4 ~f:(derivative p.lambda) ~y0 ~t0:0. ~t1:t ~steps
 
 let mass u = Array.fold_left ( +. ) 0. u
 
@@ -53,7 +53,7 @@ let generating_function p ~x ~t =
   let f0 = phi0 p x in
   let e = Float.exp (p.lambda *. t) in
   if f0 < 1. then (* eq. (2) *) f0 /. (f0 +. ((1. -. f0) *. e))
-  else if f0 = 1. then 1.
+  else if Float.equal f0 1. then 1.
   else begin
     (* eq. (3), diverging at the blow-up time. *)
     match blowup_time p ~x with

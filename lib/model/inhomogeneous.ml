@@ -49,7 +49,7 @@ type quadrant_stats = {
 }
 
 (* Node layout: indices [0, n_high) are 'in' nodes, the rest 'out'. *)
-let n_high c = Stdlib.max 1 (int_of_float (Float.round (c.frac_high *. float_of_int c.n)))
+let n_high c = Int.max 1 (int_of_float (Float.round (c.frac_high *. float_of_int c.n)))
 
 let rate_of c i = if i < n_high c then c.rate_high else c.rate_low
 
@@ -72,7 +72,7 @@ let track c ~rng ~src ~dst ~n_explosion ~t_end =
   let t1 = ref None and tn = ref None in
   let received = ref 0. in
   let time = ref 0. in
-  while !tn = None && !time < t_end do
+  while Option.is_none !tn && !time < t_end do
     let t' = !time +. Rng.exponential rng ~rate:total_rate in
     time := t';
     if t' < t_end then begin
@@ -94,7 +94,7 @@ let track c ~rng ~src ~dst ~n_explosion ~t_end =
       let delivered = if i = dst then sj else if j = dst then si else 0. in
       if delivered > 0. then begin
         received := !received +. delivered;
-        if !t1 = None then t1 := Some t';
+        if Option.is_none !t1 then t1 := Some t';
         if !received >= float_of_int n_explosion then tn := Some t';
         (* First preference: paths through a carrier that has met the
            destination may not be delivered again — consume them. *)

@@ -95,13 +95,13 @@ let deliveries p ~rng ~n_explosion ~t_end =
   let tn = ref None in
   let received = ref 0. in
   let time = ref 0. in
-  while !tn = None && !time < t_end do
+  while Option.is_none !tn && !time < t_end do
     let t', source, peer = step p rng states !time in
     time := t';
     if t' < t_end && peer = dst && states.(source) > 0. then begin
       received := !received +. states.(source);
-      if !t1 = None then t1 := Some t';
-      if !received >= float_of_int n_explosion && !tn = None then tn := Some t'
+      if Option.is_none !t1 then t1 := Some t';
+      if !received >= float_of_int n_explosion && Option.is_none !tn then tn := Some t'
     end
   done;
   { t1 = !t1; tn = !tn }

@@ -84,7 +84,7 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
   let grid = Snapshot.grid snap in
   let c0 = Timegrid.step_of_time grid t_create in
   let k = config.k in
-  let hop_cap = match config.max_hops with None -> n | Some h -> Stdlib.min h n in
+  let hop_cap = match config.max_hops with None -> n | Some h -> Int.min h n in
   (* DP table: per node, the retained paths, nhops-ascending. *)
   let table = Array.make n [] in
   let table_size = Array.make n 0 in
@@ -154,14 +154,14 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
            end
          in
          fresh_edges.(u) <- fresh;
-         has_fresh.(u) <- fresh <> []
+         has_fresh.(u) <- not (List.is_empty fresh)
        done;
        (* Deliveries are different: every chain reaching the destination
           this step is a distinct counted path even along static edges
           (each step's traversal has its own timestamps), so inside the
           destination's contact component everything must extend. *)
        let in_dst_component = Array.make n false in
-       if dst_contacts <> [] then
+       if not (List.is_empty dst_contacts) then
          List.iter
            (fun u -> in_dst_component.(u) <- true)
            (Snapshot.component_of snap ~step:step_now dst);
@@ -169,7 +169,7 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
           novel extensions or deliveries this step. *)
        let any_active = ref false in
        for u = 0 to n - 1 do
-         if u <> dst && table.(u) <> [] && neighbours u <> [] then
+         if u <> dst && (not (List.is_empty table.(u))) && not (List.is_empty (neighbours u)) then
            List.iter
              (fun p ->
                if p.born >= step_now - 1 || has_fresh.(u) || in_dst_component.(u) then begin
@@ -260,7 +260,7 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
             it — both retained paths and this step's fresh ones. Their
             same-step deliveries were already emitted above. *)
          let d_mask =
-           if dst_contacts = [] then None
+           if List.is_empty dst_contacts then None
            else begin
              let mask = bitset_create n in
              List.iter (fun u -> bitset_add mask u) dst_contacts;
@@ -276,7 +276,7 @@ let run ?(config = default_config) snap ~src ~dst ~t_create =
          | None -> ()
          | Some _ ->
            for w = 0 to n - 1 do
-             if table.(w) <> [] then begin
+             if not (List.is_empty table.(w)) then begin
                let kept = surviving table.(w) in
                let sz = List.length kept in
                live_paths := !live_paths - table_size.(w) + sz;

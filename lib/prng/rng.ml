@@ -51,7 +51,7 @@ let gaussian t ~mu ~sigma =
 
 let poisson t ~mean =
   if mean < 0. then invalid_arg "Rng.poisson: mean must be non-negative";
-  if mean = 0. then 0
+  if Float.equal mean 0. then 0
   else if mean < 60. then begin
     (* Knuth: count uniform draws until their product drops below
        exp(-mean). *)
@@ -64,7 +64,7 @@ let poisson t ~mean =
   end
   else
     let v = gaussian t ~mu:mean ~sigma:(Float.sqrt mean) in
-    Stdlib.max 0 (int_of_float (Float.round v))
+    Int.max 0 (int_of_float (Float.round v))
 
 let pareto t ~alpha ~x_min =
   if not (alpha > 0. && x_min > 0.) then

@@ -14,23 +14,29 @@ type event =
    message created the instant a contact opens may use it. Ties within a
    kind break on endpoint ids / message id so the in-place (unstable)
    array sort below is fully deterministic. *)
+let event_rank = function Contact_end _ -> 0 | Contact_start _ -> 1 | Create _ -> 2
+
 let compare_events (t1, e1) (t2, e2) =
   let c = Float.compare t1 t2 in
   if c <> 0 then c
   else
-    let key = function
-      | Contact_end (a, b) -> (0, a, b)
-      | Contact_start (a, b) -> (1, a, b)
-      | Create m -> (2, m.Message.id, 0)
-    in
-    compare (key e1) (key e2)
+    let c = Int.compare (event_rank e1) (event_rank e2) in
+    if c <> 0 then c
+    else
+      match (e1, e2) with
+      | Contact_end (a1, b1), Contact_end (a2, b2)
+      | Contact_start (a1, b1), Contact_start (a2, b2) ->
+        let c = Int.compare a1 a2 in
+        if c <> 0 then c else Int.compare b1 b2
+      | Create m1, Create m2 -> Int.compare m1.Message.id m2.Message.id
+      | (Contact_end _ | Contact_start _ | Create _), _ -> 0 (* distinct ranks: unreachable *)
 
 (* The schedule is built into a flat array and sorted in place: no cons
    cells, no merge-sort allocation — this is rebuilt once per run and
    was a measurable share of short runs. *)
 let build_events trace messages n_msgs =
   let n_events = (2 * Trace.n_contacts trace) + n_msgs in
-  let events = Array.make (Stdlib.max n_events 1) (0., Contact_end (0, 0)) in
+  let events = Array.make (Int.max n_events 1) (0., Contact_end (0, 0)) in
   let idx = ref 0 in
   let push t e =
     events.(!idx) <- (t, e);
@@ -79,7 +85,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
     (fun (m : Message.t) ->
       if m.Message.id < 0 || m.Message.id >= n_msgs then
         invalid_arg "Engine.run: message ids must be dense in [0, count)";
-      if message_of.(m.Message.id) <> None then invalid_arg "Engine.run: duplicate message id";
+      if Option.is_some message_of.(m.Message.id) then invalid_arg "Engine.run: duplicate message id";
       message_of.(m.Message.id) <- Some m)
     messages;
   (* Active contacts as adjacency counts (duplicate contact records are
@@ -93,7 +99,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
   let add_peer a b =
     if adj.(a).(b) = 0 then begin
       if n_peers.(a) = Array.length peers.(a) then begin
-        let bigger = Array.make (Stdlib.max 4 (2 * n_peers.(a))) 0 in
+        let bigger = Array.make (Int.max 4 (2 * n_peers.(a))) 0 in
         Array.blit peers.(a) 0 bigger 0 n_peers.(a);
         peers.(a) <- bigger
       end;
@@ -133,7 +139,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
   let held_len = Array.make n 0 in
   let push_held node id =
     if held_len.(node) = Array.length held.(node) then begin
-      let bigger = Array.make (Stdlib.max 4 (2 * held_len.(node))) 0 in
+      let bigger = Array.make (Int.max 4 (2 * held_len.(node))) 0 in
       Array.blit held.(node) 0 bigger 0 held_len.(node);
       held.(node) <- bigger
     end;
@@ -167,7 +173,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
      competes for every active contact of its new holder. *)
   let rec receive (m : Message.t) node time =
     let id = m.Message.id in
-    if delivered.(id) = None && not (has_copy id node) then begin
+    if Option.is_none delivered.(id) && not (has_copy id node) then begin
       set_copy id node;
       if node = m.Message.dst then delivered.(id) <- Some time
       else begin
@@ -175,7 +181,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
         let ps = peers.(node) in
         let len = n_peers.(node) in
         let i = ref 0 in
-        while !i < len && delivered.(id) = None do
+        while !i < len && Option.is_none delivered.(id) do
           offer m ~holder:node ~peer:ps.(!i) time;
           incr i
         done
@@ -186,7 +192,7 @@ let run ?ttl ?faults ~trace ~messages algorithm =
      including the final hop to the destination — is one transmission. *)
   and offer (m : Message.t) ~holder ~peer time =
     let id = m.Message.id in
-    if delivered.(id) = None && not (expired m time) then
+    if Option.is_none delivered.(id) && not (expired m time) then
       if peer = m.Message.dst then begin
         attempt id;
         if not (lost m ~holder ~peer time) then begin

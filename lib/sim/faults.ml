@@ -32,7 +32,9 @@ let scale x spec =
   }
 
 let is_null spec =
-  spec.loss = 0. && (spec.crash_rate = 0. || spec.down_time = 0.) && spec.jitter = 0.
+  Float.equal spec.loss 0.
+  && (Float.equal spec.crash_rate 0. || Float.equal spec.down_time 0.)
+  && Float.equal spec.jitter 0.
 
 let pp_spec ppf spec =
   Format.fprintf ppf "loss %.3f, %.2f crashes/h x %.0f s down, jitter %.2f (seed %Ld)" spec.loss
@@ -60,7 +62,7 @@ let unit_of_digest h = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-5
    recovery instant, so intervals are disjoint and ascending by
    construction. *)
 let node_downtime spec ~horizon node =
-  if spec.crash_rate = 0. || spec.down_time = 0. then [||]
+  if Float.equal spec.crash_rate 0. || Float.equal spec.down_time 0. then [||]
   else begin
     let rng = Psn_prng.Rng.create ~seed:(mix_int (mix spec.seed 0x646f776eL) node) () in
     let rec go t acc =
@@ -117,7 +119,7 @@ let clip_against intervals downs =
 (* Jitter truncation: keyed by the contact's identity so duplicate
    contact records draw identical fractions. *)
 let truncate_contact spec (c : Contact.t) =
-  if spec.jitter = 0. then Some (c.Contact.t_start, c.Contact.t_end)
+  if Float.equal spec.jitter 0. then Some (c.Contact.t_start, c.Contact.t_end)
   else begin
     let h =
       mix_float
@@ -133,7 +135,7 @@ let truncate_contact spec (c : Contact.t) =
 let degrade plan trace =
   if Trace.n_nodes trace <> Array.length plan.down then
     invalid_arg "Faults.degrade: trace population differs from the plan's";
-  if plan.spec.jitter = 0. && Array.for_all (fun d -> Array.length d = 0) plan.down then trace
+  if Float.equal plan.spec.jitter 0. && Array.for_all (fun d -> Array.length d = 0) plan.down then trace
   else begin
     let surviving = ref [] in
     Trace.iter_contacts trace (fun (c : Contact.t) ->

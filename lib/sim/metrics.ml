@@ -74,6 +74,19 @@ let pool = function
     in
     of_records first.Engine.algorithm records
 
+(* The determinism contract is "same bits", not numeric equality:
+   comparing the IEEE payloads keeps NaN delays (no deliveries) equal
+   to themselves and distinguishes -0. from 0. *)
+let float_identical a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let equal a b =
+  String.equal a.algorithm b.algorithm
+  && a.messages = b.messages && a.delivered = b.delivered
+  && float_identical a.success_rate b.success_rate
+  && float_identical a.mean_delay b.mean_delay
+  && float_identical a.median_delay b.median_delay
+  && a.copies = b.copies && a.attempts = b.attempts
+
 let grouped (outcome : Engine.outcome) ~classify =
   let order = ref [] in
   let groups = Hashtbl.create 8 in

@@ -22,6 +22,11 @@ type t = {
 
 val of_outcome : Engine.outcome -> t
 
+val equal : t -> t -> bool
+(** Bit-identity: floats are compared on their IEEE-754 payload, so
+    [nan] delays (nothing delivered) compare equal to themselves. This
+    is the equality the [--jobs] determinism contract is stated in. *)
+
 val overhead : t -> float
 (** [attempts / copies] — the retransmission overhead under injected
     loss (1.0 when fault-free, [nan] when nothing was transmitted). *)

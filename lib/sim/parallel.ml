@@ -13,7 +13,7 @@ let map ?jobs f tasks =
     | Some j -> j
     | None -> default_jobs ()
   in
-  let jobs = Stdlib.min jobs n in
+  let jobs = Int.min jobs n in
   if jobs <= 1 then Array.map f tasks
   else begin
     let results = Array.make n None in

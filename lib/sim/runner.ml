@@ -13,14 +13,14 @@ let run_seed ?faults ~trace ~spec ~factory seed =
   Engine.run ?faults ~trace ~messages (factory trace)
 
 let outcomes ?jobs ?faults ~trace ~spec ~factory () =
-  if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
+  if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   Parallel.map_list ?jobs (run_seed ?faults ~trace ~spec ~factory) spec.seeds
 
 let run_algorithm ?jobs ?faults ~trace ~spec ~factory () =
   Metrics.pool (outcomes ?jobs ?faults ~trace ~spec ~factory ())
 
 let outcomes_many ?jobs ?faults ~trace ~spec ~factories () =
-  if spec.seeds = [] then invalid_arg "Runner: need at least one seed";
+  if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
   let n_seeds = Array.length seeds in

@@ -32,7 +32,7 @@ let edge_count t =
 let pp_step ppf t step =
   let edges = Snapshot.edges t.snap ~step in
   Format.fprintf ppf "t=%d:" step;
-  if edges = [] then Format.fprintf ppf " (no contacts)"
+  if List.is_empty edges then Format.fprintf ppf " (no contacts)"
   else List.iter (fun (a, b) -> Format.fprintf ppf " %d-%d" a b) edges
 
 let pp ppf t =

@@ -56,7 +56,7 @@ let edges t ~step =
 let active_steps t =
   let acc = ref [] in
   for step = n_steps t downto 1 do
-    if Array.exists (fun ns -> ns <> []) t.adj.(step - 1) then acc := step :: !acc
+    if Array.exists (fun ns -> not (List.is_empty ns)) t.adj.(step - 1) then acc := step :: !acc
   done;
   !acc
 
@@ -81,7 +81,7 @@ let components t ~step =
   let seen = Array.make t.n_nodes false in
   let out = ref [] in
   for node = 0 to t.n_nodes - 1 do
-    if (not seen.(node)) && row.(node) <> [] then begin
+    if (not seen.(node)) && not (List.is_empty row.(node)) then begin
       let comp = component_of t ~step node in
       List.iter (fun x -> seen.(x) <- true) comp;
       out := comp :: !out

@@ -11,7 +11,7 @@ let n_steps t = t.n_steps
 let step_of_time t time =
   if time < 0. || time >= t.horizon then invalid_arg "Timegrid.step_of_time: outside horizon";
   (* time in [cΔ - Δ, cΔ)  <=>  c = floor(time/Δ) + 1 *)
-  Stdlib.min t.n_steps (int_of_float (Float.floor (time /. t.delta)) + 1)
+  Int.min t.n_steps (int_of_float (Float.floor (time /. t.delta)) + 1)
 
 let check_step t c =
   if c < 1 || c > t.n_steps then invalid_arg "Timegrid: step out of range"
@@ -29,4 +29,4 @@ let steps_overlapping t ~t_start ~t_end =
   (* Step c intersects [t_start, t_end) iff cΔ > t_start and cΔ - Δ < t_end. *)
   let first = int_of_float (Float.floor (t_start /. t.delta)) + 1 in
   let last = int_of_float (Float.ceil (t_end /. t.delta)) in
-  (Stdlib.max 1 first, Stdlib.min t.n_steps last)
+  (Int.max 1 first, Int.min t.n_steps last)

@@ -17,7 +17,7 @@ let create ~lo ~hi ~bins data =
       if x < lo then incr underflow
       else if x >= hi then incr overflow
       else begin
-        let i = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. width)) in
+        let i = Int.min (bins - 1) (int_of_float ((x -. lo) /. width)) in
         counts.(i) <- counts.(i) + 1
       end)
     data;

@@ -4,7 +4,7 @@ let interpolate sorted q =
   else begin
     let pos = q *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor pos) in
-    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let hi = Int.min (lo + 1) (n - 1) in
     let frac = pos -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end

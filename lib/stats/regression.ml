@@ -10,10 +10,10 @@ let linear points =
   let sxx = List.fold_left (fun a (x, _) -> a +. ((x -. mx) *. (x -. mx))) 0. points in
   let sxy = List.fold_left (fun a (x, y) -> a +. ((x -. mx) *. (y -. my))) 0. points in
   let syy = List.fold_left (fun a (_, y) -> a +. ((y -. my) *. (y -. my))) 0. points in
-  if sxx = 0. then invalid_arg "Regression.linear: zero variance in x";
+  if Float.equal sxx 0. then invalid_arg "Regression.linear: zero variance in x";
   let slope = sxy /. sxx in
   let intercept = my -. (slope *. mx) in
-  let r2 = if syy = 0. then Float.nan else sxy *. sxy /. (sxx *. syy) in
+  let r2 = if Float.equal syy 0. then Float.nan else sxy *. sxy /. (sxx *. syy) in
   { slope; intercept; r2; n }
 
 let exponential_rate points =

@@ -9,7 +9,7 @@ let pad align width cell =
     | Right -> String.make gap ' ' ^ cell
 
 let render ?align ~header rows =
-  let ncols = List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) (List.length header) rows in
+  let ncols = List.fold_left (fun acc row -> Int.max acc (List.length row)) (List.length header) rows in
   let normalize row =
     let len = List.length row in
     if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
@@ -24,7 +24,7 @@ let render ?align ~header rows =
       if len >= ncols then a else a @ List.init (ncols - len) (fun _ -> Left)
   in
   let widths = Array.make ncols 0 in
-  let note row = List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row in
+  let note row = List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)) row in
   note header;
   List.iter note rows;
   let line row =
@@ -45,5 +45,3 @@ let render_floats ?(precision = 4) ~header rows =
   let cells = List.map (List.map (Printf.sprintf "%.*g" precision)) rows in
   let aligns = List.init (List.length header) (fun _ -> Right) in
   render ~align:aligns ~header cells
-
-let print ?align ~header rows = print_endline (render ?align ~header rows)

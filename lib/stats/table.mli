@@ -21,7 +21,6 @@ val render_floats :
   float list list ->
   string
 (** Numeric convenience: formats every cell with [%.*g] (default
-    precision 4) and right-aligns all columns. *)
-
-val print : ?align:align list -> header:string list -> string list list -> unit
-(** [render] to stdout, with a trailing newline. *)
+    precision 4) and right-aligns all columns. Callers print the
+    rendered string themselves: library code never writes to stdout
+    (see the determinism linter's [stdout-print] rule). *)

@@ -8,7 +8,7 @@ let bin_events ~t0 ~t1 ~bin events =
   Seq.iter
     (fun time ->
       if time >= t0 && time < t1 then begin
-        let i = Stdlib.min (nbins - 1) (int_of_float ((time -. t0) /. bin)) in
+        let i = Int.min (nbins - 1) (int_of_float ((time -. t0) /. bin)) in
         counts.(i) <- counts.(i) + 1
       end)
     events;
@@ -34,5 +34,5 @@ let stability t =
   else begin
     let s = Summary.of_array (Array.map float_of_int t.counts) in
     let m = Summary.mean s in
-    if m = 0. then Float.nan else Summary.stddev s /. m
+    if Float.equal m 0. then Float.nan else Summary.stddev s /. m
   end

@@ -37,7 +37,9 @@ let aggregate_gaps trace =
       let existing = Option.value ~default:[] (Hashtbl.find_opt per_pair key) in
       Hashtbl.replace per_pair key ((c.Contact.t_start, c.Contact.t_end) :: existing));
   let out = ref [] in
-  Hashtbl.iter
+  (* Key-ordered extraction: the gap array's layout is a function of
+     the trace, not of hash order. *)
+  Psn_det.Det_tbl.iter ~cmp:Int.compare
     (fun _ intervals -> out := gaps_of_intervals (List.rev intervals) @ !out)
     per_pair;
   Array.of_list !out

@@ -117,7 +117,7 @@ let merge a b =
 
 let validate t =
   let problem = ref None in
-  let fail fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+  let fail fmt = Printf.ksprintf (fun s -> if Option.is_none !problem then problem := Some s) fmt in
   if Array.length t.kinds <> t.n_nodes then fail "kinds length mismatch";
   Array.iteri
     (fun i (c : Contact.t) ->

@@ -18,14 +18,14 @@ type header = { mutable nodes : int option; mutable horizon : float option }
 
 (* Duplicates are keyed on the endpoint-normalised quadruple so that
    "1,2,..." and "2,1,..." count as the same contact. *)
-let contact_key a b s e = ((Stdlib.min a b, Stdlib.max a b), (s, e))
+let contact_key a b s e = ((Int.min a b, Int.max a b), (s, e))
 
 let parse_line ~lineno header contacts stationary seen line =
   let fail fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
   let line = String.trim line in
-  if line = "" then Ok ()
+  if String.equal line "" then Ok ()
   else if String.length line > 0 && line.[0] = '#' then begin
-    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    match String.split_on_char ' ' line |> List.filter (fun s -> not (String.equal s "")) with
     | [ "#"; "psn-trace"; "v1" ] -> Ok ()
     | [ "#"; "nodes"; n ] -> (
       match int_of_string_opt n with
@@ -91,26 +91,35 @@ let of_string text =
     | None, _ -> Error "missing '# nodes' header"
     | _, None -> Error "missing '# horizon' header"
     | Some n, Some h -> (
+      (* Range checks report the first offending line, in file order,
+         as an [Error] — the same line-numbered one-line-to-stderr
+         shape as every other parse failure; no exceptions involved. *)
       let check_ranges () =
-        List.iter
-          (fun (id, lineno) ->
-            if id >= n then
-              failwith
-                (Printf.sprintf "line %d: stationary node %d outside population of %d" lineno id
-                   n))
-          (List.rev !stationary);
-        List.iter
-          (fun ((c : Contact.t), lineno) ->
-            (* [Contact.make] orders endpoints, so [b] is the larger. *)
-            if c.Contact.b >= n then
-              failwith
-                (Printf.sprintf "line %d: node id %d exceeds population of %d (from '# nodes')"
-                   lineno c.Contact.b n))
-          (List.rev !contacts)
+        match
+          List.find_map
+            (fun (id, lineno) ->
+              if id >= n then
+                Some
+                  (Printf.sprintf "line %d: stationary node %d outside population of %d" lineno
+                     id n)
+              else None)
+            (List.rev !stationary)
+        with
+        | Some _ as err -> err
+        | None ->
+          List.find_map
+            (fun ((c : Contact.t), lineno) ->
+              (* [Contact.make] orders endpoints, so [b] is the larger. *)
+              if c.Contact.b >= n then
+                Some
+                  (Printf.sprintf "line %d: node id %d exceeds population of %d (from '# nodes')"
+                     lineno c.Contact.b n)
+              else None)
+            (List.rev !contacts)
       in
       match check_ranges () with
-      | exception Failure msg -> Error msg
-      | () -> (
+      | Some msg -> Error msg
+      | None -> (
         let kinds = Array.make n Node.Mobile in
         List.iter (fun (id, _) -> kinds.(id) <- Node.Stationary) !stationary;
         match Trace.create ~n_nodes:n ~horizon:h ~kinds (List.rev_map fst !contacts) with
@@ -141,11 +150,11 @@ let of_whitespace ?n_nodes text =
       Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
     in
     let line = String.trim line in
-    if line = "" || line.[0] = '#' then Ok (lineno + 1, acc)
+    if String.equal line "" || line.[0] = '#' then Ok (lineno + 1, acc)
     else begin
       match
         String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
-        |> List.filter (fun s -> s <> "")
+        |> List.filter (fun s -> not (String.equal s ""))
       with
       | a :: b :: s :: e :: _ -> (
         match
@@ -180,13 +189,13 @@ let of_whitespace ?n_nodes text =
   | Ok (_, raw) -> (
     (* Shift 1-based ids down when id 0 never appears. *)
     let min_id =
-      List.fold_left (fun acc (a, b, _, _, _) -> Stdlib.min acc (Stdlib.min a b)) max_int raw
+      List.fold_left (fun acc (a, b, _, _, _) -> Int.min acc (Int.min a b)) max_int raw
     in
     let shift = if min_id >= 1 then min_id else 0 in
     let t0 = List.fold_left (fun acc (_, _, s, _, _) -> Float.min acc s) Float.infinity raw in
     let raw = List.map (fun (a, b, s, e, ln) -> (a - shift, b - shift, s -. t0, e -. t0, ln)) raw in
     let max_id =
-      List.fold_left (fun acc (a, b, _, _, _) -> Stdlib.max acc (Stdlib.max a b)) 0 raw
+      List.fold_left (fun acc (a, b, _, _, _) -> Int.max acc (Int.max a b)) 0 raw
     in
     let horizon = List.fold_left (fun acc (_, _, _, e, _) -> Float.max acc e) 0. raw in
     let range_error =
@@ -194,11 +203,11 @@ let of_whitespace ?n_nodes text =
       | Some n when max_id >= n ->
         List.find_map
           (fun (a, b, _, _, ln) ->
-            if Stdlib.max a b >= n then
+            if Int.max a b >= n then
               Some
                 (Printf.sprintf
                    "line %d: node id %d exceeds the requested population of %d%s" ln
-                   (Stdlib.max a b + shift) n
+                   (Int.max a b + shift) n
                    (if shift > 0 then Printf.sprintf " (ids shifted down by %d)" shift else ""))
             else None)
           (List.rev raw)

@@ -1,0 +1,4 @@
+[@@@lint.allow "missing-mli"]
+
+(* The ambient generator is shared global state. *)
+let pick n = Random.int n

@@ -1,0 +1,5 @@
+[@@@lint.allow "missing-mli"]
+[@@@lint.allow "no-such-rule"]
+
+(* A typo in a suppression must never silently widen it. *)
+let ok = (1 + 2) [@lint.allow 42]

@@ -1,0 +1,7 @@
+[@@@lint.allow "missing-mli"]
+
+(* A catch-all swallows Out_of_memory and assertion failures alike. *)
+let safe f = try Some (f ()) with _ -> None
+
+let logged f =
+  match f () with v -> Some v | exception _ -> None

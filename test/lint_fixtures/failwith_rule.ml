@@ -1,0 +1,4 @@
+[@@@lint.allow "missing-mli"]
+
+(* Failure carries no structure a caller could match on. *)
+let explode () = failwith "boom"

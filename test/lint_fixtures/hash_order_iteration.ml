@@ -1,0 +1,9 @@
+[@@@lint.allow "missing-mli"]
+
+(* Hash order is an implementation detail, not a contract. *)
+let sum tbl =
+  let acc = ref 0 in
+  Hashtbl.iter (fun _ v -> acc := !acc + v) tbl;
+  !acc
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

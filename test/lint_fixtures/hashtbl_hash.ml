@@ -1,0 +1,4 @@
+[@@@lint.allow "missing-mli"]
+
+(* Representation hashing is reserved for the Faults keyed hash. *)
+let digest x = Hashtbl.hash x

@@ -1,0 +1,2 @@
+(* No sibling .mli and no suppression: the rule fires. *)
+let identity x = x

@@ -1,0 +1,5 @@
+[@@@lint.allow "missing-mli"]
+
+(* Physical identity of boxed values is allocation trivia. *)
+let same a b = a == b
+let differ a b = a != b

@@ -1,0 +1,9 @@
+[@@@lint.allow "missing-mli"]
+
+(* Polymorphic comparison walks runtime representations. *)
+let worst a b = max a b
+let ordered a b = compare a b
+let no_contacts xs = xs = []
+let unset o = o = None
+let close_enough x = x = 0.5
+let same_name a b = a = "alice"

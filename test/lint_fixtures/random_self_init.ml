@@ -1,0 +1,4 @@
+[@@@lint.allow "missing-mli"]
+
+(* Seeding from the environment: every run would differ. *)
+let seed_from_environment () = Random.self_init ()

@@ -1,0 +1,6 @@
+[@@@lint.allow "missing-mli"]
+
+(* Library code reports through values or a caller's formatter. *)
+let shout s = print_endline s
+let banner () = Printf.printf "== %s ==\n" "results"
+let flushy fmt = Format.fprintf Format.std_formatter fmt

@@ -1,0 +1,12 @@
+(* Exercises both suppression forms; expected output is empty.
+   The floating form covers the whole file, the attached form only
+   its expression. *)
+
+[@@@lint.allow "missing-mli"]
+[@@@lint.allow "failwith"]
+
+let explode () = failwith "boom"
+
+let digest x = (Hashtbl.hash x [@lint.allow "hashtbl-hash"])
+
+let shout s = (print_endline s [@lint.allow "stdout-print"])

@@ -1,0 +1,2 @@
+(* This file deliberately does not parse. *)
+let = in

@@ -28,6 +28,35 @@ let graded_trace () =
   in
   Trace.create ~n_nodes:6 ~horizon:600. contacts
 
+(* --- Det_tbl --- *)
+
+let test_det_tbl_sorted_views () =
+  let tbl = Hashtbl.create 7 in
+  List.iter (fun k -> Hashtbl.add tbl k (k * 10)) [ 5; 1; 9; 3; 7; 0; 8 ];
+  Alcotest.(check (list (pair int int)))
+    "bindings sorted by key"
+    [ (0, 0); (1, 10); (3, 30); (5, 50); (7, 70); (8, 80); (9, 90) ]
+    (Core.Det_tbl.bindings ~cmp:Int.compare tbl);
+  Alcotest.(check (list int)) "keys" [ 0; 1; 3; 5; 7; 8; 9 ]
+    (Core.Det_tbl.keys ~cmp:Int.compare tbl);
+  let seen = ref [] in
+  Core.Det_tbl.iter ~cmp:Int.compare (fun k _ -> seen := k :: !seen) tbl;
+  Alcotest.(check (list int)) "iter ascending" [ 0; 1; 3; 5; 7; 8; 9 ] (List.rev !seen);
+  Alcotest.(check (list int)) "fold ascending" [ 9; 8; 7; 5; 3; 1; 0 ]
+    (Core.Det_tbl.fold (fun k _ acc -> k :: acc) ~cmp:Int.compare tbl [])
+
+let test_det_tbl_duplicate_keys () =
+  (* Hashtbl.add shadows: the sort is stable, so a duplicated key keeps
+     its bindings most-recent-first, matching Hashtbl.find_all. *)
+  let tbl = Hashtbl.create 7 in
+  Hashtbl.add tbl 2 "old";
+  Hashtbl.add tbl 1 "only";
+  Hashtbl.add tbl 2 "new";
+  Alcotest.(check (list (pair int string)))
+    "duplicates most-recent-first"
+    [ (1, "only"); (2, "new"); (2, "old") ]
+    (Core.Det_tbl.bindings ~cmp:Int.compare tbl)
+
 (* --- Classify --- *)
 
 let test_classify_median_split () =
@@ -302,6 +331,11 @@ let test_export_roundtrip () =
 let () =
   Alcotest.run "core"
     [
+      ( "det_tbl",
+        [
+          Alcotest.test_case "sorted views" `Quick test_det_tbl_sorted_views;
+          Alcotest.test_case "duplicate keys" `Quick test_det_tbl_duplicate_keys;
+        ] );
       ( "classify",
         [
           Alcotest.test_case "median split" `Quick test_classify_median_split;

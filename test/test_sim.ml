@@ -439,6 +439,65 @@ let test_negative_creation_rejected () =
     (Invalid_argument "Engine.run: message created outside trace window") (fun () ->
       ignore (Engine.run ~trace ~messages:[ rogue ] never))
 
+let test_event_drain_order () =
+  (* A tie-heavy schedule: one contact ends at t = 20 exactly as three
+     others start and three messages are created. The monomorphic event
+     comparator pins the drain order — ends, then starts ascending on
+     (a, b), then creations ascending on message id — so the probe log
+     must come out the same however the inputs were listed. *)
+  let trace =
+    Trace.create ~n_nodes:6 ~horizon:100.
+      [
+        Contact.make ~a:0 ~b:1 ~t_start:5. ~t_end:20.;
+        Contact.make ~a:2 ~b:3 ~t_start:20. ~t_end:40.;
+        Contact.make ~a:0 ~b:2 ~t_start:20. ~t_end:40.;
+        Contact.make ~a:1 ~b:3 ~t_start:20. ~t_end:40.;
+      ]
+  in
+  let log = ref [] in
+  let probe =
+    {
+      Algorithm.name = "Probe";
+      observe_contact =
+        (fun ~time ~a ~b -> log := Printf.sprintf "contact %d-%d@%g" a b time :: !log);
+      on_create =
+        (fun m -> log := Printf.sprintf "create %d@%g" m.Message.id m.Message.t_create :: !log);
+      should_forward = (fun _ -> false);
+      on_forward = (fun _ -> ());
+    }
+  in
+  (* Listed out of id order on purpose: the comparator, not the list,
+     decides. Message 2 (0 -> 1) tests the end-before-start rule: the
+     only 0-1 contact closes at the very instant the message is born. *)
+  let messages =
+    [ msg ~id:2 ~src:0 ~dst:1 20.; msg ~id:0 ~src:0 ~dst:2 20.; msg ~id:1 ~src:1 ~dst:3 20. ]
+  in
+  let outcome = Engine.run ~trace ~messages probe in
+  Alcotest.(check (list string)) "drain order"
+    [
+      "contact 0-1@5";
+      "contact 0-2@20";
+      "contact 1-3@20";
+      "contact 2-3@20";
+      "create 0@20";
+      "create 1@20";
+      "create 2@20";
+    ]
+    (List.rev !log);
+  (* Records follow the (shuffled) message list order, so look up by id. *)
+  let delivered_of id =
+    let r =
+      Array.to_list outcome.Engine.records
+      |> List.find (fun (r : Engine.record) -> r.Engine.message.Message.id = id)
+    in
+    r.Engine.delivered
+  in
+  (* Creations run after the simultaneous starts, so 0 and 1 deliver
+     instantly; the 0-1 contact's end ran first, so 2 never can. *)
+  Alcotest.(check (option (float 1e-9))) "msg 0 via fresh contact" (Some 20.) (delivered_of 0);
+  Alcotest.(check (option (float 1e-9))) "msg 1 via fresh contact" (Some 20.) (delivered_of 1);
+  Alcotest.(check (option (float 1e-9))) "msg 2 missed the ended contact" None (delivered_of 2)
+
 (* --- Runner --- *)
 
 let runner_trace () =
@@ -695,6 +754,7 @@ let () =
           Alcotest.test_case "negative creation rejected" `Quick test_negative_creation_rejected;
           Alcotest.test_case "copies on direct delivery" `Quick test_copies_direct_delivery;
           Alcotest.test_case "observe_contact" `Quick test_observe_contact_called;
+          Alcotest.test_case "tied events drain in pinned order" `Quick test_event_drain_order;
           Alcotest.test_case "epidemic matches oracle" `Slow test_epidemic_matches_flood_oracle;
         ] );
       ( "robustness",

@@ -1,0 +1,80 @@
+(* psn_lint — the determinism-contract linter.
+
+   Usage: psn_lint [--config lint.toml] [--format human|json] [--rules]
+          PATH...
+
+   Exit codes: 0 clean, 1 findings, 2 usage or configuration error. *)
+
+let usage = "psn_lint [--config FILE] [--format human|json] [--rules] PATH..."
+
+let () =
+  let format = ref `Human in
+  let config_path = ref None in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let set_format = function
+    | "human" -> format := `Human
+    | "json" -> format := `Json
+    | other ->
+      Printf.eprintf "psn_lint: unknown format %S (expected human or json)\n" other;
+      exit 2
+  in
+  let spec =
+    [
+      ("--config", Arg.String (fun f -> config_path := Some f), "FILE per-path allowlist (lint.toml)");
+      ("--format", Arg.String set_format, "FMT output format: human (default) or json");
+      ("--rules", Arg.Set list_rules, " list every rule with its rationale and exit");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage with
+  | Arg.Bad msg ->
+    prerr_string msg;
+    exit 2
+  | Arg.Help msg ->
+    print_string msg;
+    exit 0);
+  if !list_rules then begin
+    Format.printf "%a" Psn_lint.Rules.pp_list ();
+    exit 0
+  end;
+  let paths = List.rev !paths in
+  if List.is_empty paths then begin
+    Printf.eprintf "psn_lint: no paths given\nusage: %s\n" usage;
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "psn_lint: no such file or directory: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let config =
+    match !config_path with
+    | None -> Psn_lint.Config.empty
+    | Some file -> (
+      match Psn_lint.Config.load file with
+      | Ok c -> c
+      | Error msg ->
+        Printf.eprintf "psn_lint: %s\n" msg;
+        exit 2)
+  in
+  let findings = Psn_lint.Linter.run ~config paths in
+  (match !format with
+  | `Human ->
+    List.iter (fun d -> Format.printf "%a@." Psn_lint.Diagnostic.pp d) findings;
+    let n = List.length findings in
+    if n > 0 then
+      Format.printf "%d finding%s (see --rules for rationale; suppress with [@lint.allow \"<rule>\"])@."
+        n
+        (if n = 1 then "" else "s")
+  | `Json ->
+    Format.printf "{\"findings\":[";
+    List.iteri
+      (fun i d ->
+        if i > 0 then Format.printf ",";
+        Format.printf "@.  %a" Psn_lint.Diagnostic.pp_json d)
+      findings;
+    if not (List.is_empty findings) then Format.printf "@.";
+    Format.printf "]}@.");
+  exit (if List.is_empty findings then 0 else 1)
