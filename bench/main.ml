@@ -15,7 +15,13 @@ module E = Core.Experiments
 module R = Core.Report
 module Dataset = Core.Dataset
 
-type options = { scale : E.scale; only : string list option; micro : bool; jobs : int }
+type options = {
+  scale : E.scale;
+  only : string list option;
+  micro : bool;
+  jobs : int;
+  store_dir : string;
+}
 
 let quick_scale =
   { E.default_scale with E.n_messages = 30; seeds = 1; hop_paths_per_message = 100 }
@@ -25,6 +31,7 @@ let parse_args () =
   let only = ref None in
   let micro = ref true in
   let jobs = ref (Core.Parallel.default_jobs ()) in
+  let store_dir = ref "_psn_bench_store" in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -46,15 +53,18 @@ let parse_args () =
         Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
         exit 2);
       go rest
+    | "--store" :: dir :: rest ->
+      store_dir := dir;
+      go rest
     | arg :: _ ->
       Printf.eprintf
         "unknown argument %s\n\
-         usage: main.exe [--quick|--paper] [--only ids] [--no-micro] [--jobs N]\n"
+         usage: main.exe [--quick|--paper] [--only ids] [--no-micro] [--jobs N] [--store DIR]\n"
         arg;
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  { scale = !scale; only = !only; micro = !micro; jobs = !jobs }
+  { scale = !scale; only = !only; micro = !micro; jobs = !jobs; store_dir = !store_dir }
 
 let wanted options id =
   match options.only with None -> true | Some ids -> List.mem id ids
@@ -479,6 +489,78 @@ let () =
         (List.length entries) n_seeds wall_seq jobs_par wall_par cores
         (if cores = 1 then "" else "s")
         speedup identical);
+  section options "store" (fun () ->
+      (* The algorithm-comparison sweep, cold (store just emptied, every
+         outcome simulated and written) vs warm (every outcome replayed
+         from disk). Warm must be bit-identical — a store hit is the
+         canonical encoding of exactly the run it replaces — and much
+         faster, since it never constructs an algorithm or steps the
+         engine. Results land in BENCH_store.json. *)
+      let trace = Core.Dataset.(generate infocom06_am) in
+      let n_seeds = Int.max 4 scale.E.seeds in
+      let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
+      let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds n_seeds } in
+      let entries = Core.Registry.paper_six in
+      let factories = List.map (fun e -> e.Core.Registry.factory) entries in
+      let st = Core.Store.open_ ~dir:options.store_dir in
+      ignore (Core.Store.gc st ~max_bytes:0);
+      let caches =
+        let trace_hash = Core.Store_key.trace_hash trace in
+        List.map
+          (fun (e : Core.Registry.entry) ->
+            Core.Store_memo.runner_cache ~store:st ~trace_hash ~workload
+              ~algo:e.Core.Registry.name ())
+          entries
+      in
+      let time jobs =
+        let t0 = Unix.gettimeofday () in
+        let metrics = Core.Runner.run_many ~jobs ~stores:caches ~trace ~spec ~factories () in
+        (Unix.gettimeofday () -. t0, metrics)
+      in
+      let wall_cold, metrics_cold = time options.jobs in
+      let wall_warm, metrics_warm = time options.jobs in
+      (* A warm replay must also be independent of --jobs. *)
+      let _, metrics_warm_seq = time 1 in
+      let identical =
+        List.for_all2 Core.Metrics.equal metrics_cold metrics_warm
+        && List.for_all2 Core.Metrics.equal metrics_cold metrics_warm_seq
+      in
+      let speedup = wall_cold /. wall_warm in
+      let s = Core.Store.stats st in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"result_store\",\n\
+          \  \"dataset\": \"infocom06_am\",\n\
+          \  \"algorithms\": [%s],\n\
+          \  \"seeds\": %d,\n\
+          \  \"jobs\": %d,\n\
+          \  \"wall_s_cold\": %.3f,\n\
+          \  \"wall_s_warm\": %.3f,\n\
+          \  \"speedup\": %.3f,\n\
+          \  \"metrics_identical\": %b,\n\
+          \  \"entries\": %d,\n\
+          \  \"bytes\": %d,\n\
+          \  \"hits\": %Ld,\n\
+          \  \"misses\": %Ld\n\
+           }\n"
+          (String.concat ", "
+             (List.map (fun e -> Printf.sprintf "%S" e.Core.Registry.label) entries))
+          n_seeds options.jobs wall_cold wall_warm speedup identical s.Core.Store.entries
+          s.Core.Store.bytes s.Core.Store.hits s.Core.Store.misses
+      in
+      let oc = open_out "BENCH_store.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.sprintf
+        "== Result store: %d algorithms x %d seeds, cold vs warm (Infocom am) ==\n\
+         cold (compute + store): %.3f s\n\
+         warm (replay from %s): %.3f s\n\
+         speedup: %.2fx    metrics bit-identical (incl. across --jobs): %b\n\
+         store: %d entries, %d bytes\n\
+         (written to BENCH_store.json)"
+        (List.length entries) n_seeds wall_cold options.store_dir wall_warm speedup identical
+        s.Core.Store.entries s.Core.Store.bytes);
   section options "resilience" (fun () ->
       (* The robustness claim, quantified: sweep fault intensity over
          the six algorithms and record delivery, attempts-vs-copies

@@ -71,6 +71,32 @@ let resolve_jobs = function
   | Some j when j >= 1 -> j
   | Some _ -> exit_err "--jobs must be at least 1"
 
+let store_arg =
+  let doc =
+    "Memoize results in the content-addressed store at $(docv) (created if missing). \
+     Entries already present are replayed bit-identically instead of recomputed; see \
+     'psn store --help' for maintenance."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resolve_store = Option.map (fun dir -> or_die (fun () -> Core.Store.open_ ~dir))
+
+(* Run [f] with the opened store (if any) and report what the store
+   contributed to this invocation. *)
+let with_store_report store f =
+  match store with
+  | None -> f None
+  | Some st ->
+    let before = Core.Store.stats st in
+    let r = f (Some st) in
+    let after = Core.Store.stats st in
+    Format.printf "store %s: %Ld hit(s), %Ld miss(es) this run; %d entries (%d bytes)@."
+      (Core.Store.dir st)
+      (Int64.sub after.Core.Store.hits before.Core.Store.hits)
+      (Int64.sub after.Core.Store.misses before.Core.Store.misses)
+      after.Core.Store.entries after.Core.Store.bytes;
+    r
+
 (* --- generate --- *)
 
 let generate_cmd =
@@ -165,7 +191,7 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k jobs =
+  let run dataset seed messages k jobs store =
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -178,7 +204,10 @@ let explosion_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
-      let study = Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ~scale d in
+      let study =
+        with_store_report (resolve_store store) (fun store ->
+            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ?store ~scale d)
+      in
       print_endline
         (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
            (Core.Experiments.fig4a [ study ]));
@@ -189,7 +218,7 @@ let explosion_cmd =
         (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
            (Core.Experiments.fig8 study))
   in
-  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg) in
+  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ store_arg) in
   Cmd.v
     (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
     term
@@ -206,7 +235,7 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds jobs =
+  let run dataset seed trace_path algorithms seeds jobs store =
     let jobs = resolve_jobs jobs in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     let label, trace = resolve_trace dataset seed trace_path in
@@ -220,18 +249,27 @@ let simulate_cmd =
                | Ok e -> e
                | Error msg -> exit_err msg)
     in
-    let spec =
-      {
-        Core.Runner.workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace);
-        seeds = Core.Runner.default_seeds seeds;
-      }
-    in
+    let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
+    let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds seeds } in
     (* One batch over the whole algorithm × seed grid. *)
     let metrics =
-      or_die (fun () ->
-          Core.Runner.run_many ~jobs ~trace ~spec
-            ~factories:(List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
-            ())
+      with_store_report (resolve_store store) (fun store ->
+          let stores =
+            Option.map
+              (fun st ->
+                let trace_hash = Core.Store_key.trace_hash trace in
+                List.map
+                  (fun (e : Core.Registry.entry) ->
+                    Core.Store_memo.runner_cache ~store:st ~trace_hash ~workload
+                      ~algo:e.Core.Registry.name ())
+                  entries)
+              store
+          in
+          or_die (fun () ->
+              Core.Runner.run_many ~jobs ?stores ~trace ~spec
+                ~factories:
+                  (List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
+                ()))
     in
     let rows =
       List.map2 (fun (e : Core.Registry.entry) m -> (e.Core.Registry.label, m)) entries metrics
@@ -242,7 +280,7 @@ let simulate_cmd =
          rows)
   in
   let term =
-    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg)
+    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ store_arg)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
@@ -294,7 +332,8 @@ let resilience_cmd =
       & info [ "probes" ] ~docv:"N"
           ~doc:"Messages whose path survival is enumerated per level.")
   in
-  let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs =
+  let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs
+      store =
     let jobs = resolve_jobs jobs in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     if probes < 1 then exit_err "--probes must be at least 1";
@@ -329,9 +368,10 @@ let resilience_cmd =
         }
       in
       let study =
-        or_die (fun () ->
-            Core.Experiments.resilience_study ~jobs ~scale ~base ~intensities
-              ~path_messages:probes d)
+        with_store_report (resolve_store store) (fun store ->
+            or_die (fun () ->
+                Core.Experiments.resilience_study ~jobs ?store ~scale ~base ~intensities
+                  ~path_messages:probes d))
       in
       print_endline
         (Core.Report.render_resilience
@@ -343,7 +383,7 @@ let resilience_cmd =
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
-      $ fault_seed $ seeds $ probes $ jobs_arg)
+      $ fault_seed $ seeds $ probes $ jobs_arg $ store_arg)
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -375,7 +415,7 @@ let experiment_cmd =
       & info [ "dump" ] ~docv:"DIR"
           ~doc:"Also write the figure's data series as gnuplot-ready .dat files into $(docv).")
   in
-  let run figure dataset seed messages dump_dir jobs =
+  let run figure dataset seed messages dump_dir jobs store =
     let jobs = resolve_jobs jobs in
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
@@ -405,9 +445,10 @@ let experiment_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
-      let study = lazy (E.enumeration_study ~jobs ~scale d) in
-      let sim = lazy (E.sim_study ~jobs ~scale d) in
       let text =
+        with_store_report (resolve_store store) (fun store ->
+        let study = lazy (E.enumeration_study ~jobs ?store ~scale d) in
+        let sim = lazy (E.sim_study ~jobs ?store ~scale d) in
         match figure with
         | "fig1" -> R.render_timeseries ~title:"Fig 1: contacts over time" (E.fig1 [ d ])
         | "fig2" -> "== Fig 2: example space-time graph ==\n" ^ E.fig2 ()
@@ -444,11 +485,13 @@ let experiment_cmd =
             (E.fig13 (Lazy.force sim))
         | "fig14" -> R.render_hop_rates ~title:"Fig 14: hop rates" (E.fig14 (Lazy.force study))
         | "fig15" -> R.render_hop_ratios ~title:"Fig 15: hop rate ratios" (E.fig15 (Lazy.force study))
-        | other -> exit_err (Printf.sprintf "unknown experiment %S" other)
+        | other -> exit_err (Printf.sprintf "unknown experiment %S" other))
       in
       print_endline text
   in
-  let term = Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg) in
+  let term =
+    Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg $ store_arg)
+  in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one figure of the paper on one dataset.") term
 
 (* --- intercontact --- *)
@@ -534,6 +577,69 @@ let communities_cmd =
     (Cmd.info "communities" ~doc:"Detect contact communities (label propagation).")
     term
 
+(* --- store --- *)
+
+let store_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("gc", `Gc); ("verify", `Verify) ])) None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of: stats (entry count, size, lifetime hit/miss counters), gc (evict \
+             least-recently-used entries down to --max-bytes), verify (decode and \
+             CRC-check every frame on disk).")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Store directory to operate on.")
+  in
+  let max_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "For gc: keep at most this many bytes of entry data (default 0, which \
+             empties the store).")
+  in
+  let run action dir max_bytes =
+    let st = or_die (fun () -> Core.Store.open_ ~dir) in
+    match action with
+    | `Stats ->
+      let s = Core.Store.stats st in
+      Format.printf "store %s: %d entries, %d bytes@." dir s.Core.Store.entries
+        s.Core.Store.bytes;
+      Format.printf "lifetime: %Ld hit(s), %Ld miss(es)@." s.Core.Store.hits
+        s.Core.Store.misses
+    | `Gc ->
+      if max_bytes < 0 then exit_err "--max-bytes must be non-negative";
+      let r = Core.Store.gc st ~max_bytes in
+      Format.printf "evicted %d entries (%d bytes); kept %d (%d bytes)@."
+        r.Core.Store.evicted r.Core.Store.freed_bytes r.Core.Store.kept
+        r.Core.Store.kept_bytes
+    | `Verify ->
+      let r = Core.Store.verify st in
+      List.iter
+        (fun (e : Core.Store.fsck_error) ->
+          Format.printf "%s: offset %d: %s@." e.Core.Store.fsck_path e.Core.Store.fsck_offset
+            e.Core.Store.fsck_reason)
+        r.Core.Store.fsck_errors;
+      Format.printf "verify: %d frame(s) checked, %d ok, %d error(s)@." r.Core.Store.checked
+        r.Core.Store.ok
+        (List.length r.Core.Store.fsck_errors);
+      if not (List.is_empty r.Core.Store.fsck_errors) then exit 1
+  in
+  let term = Term.(const run $ action $ dir $ max_bytes) in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Maintain a content-addressed result store (see --store on simulate, explosion, \
+          resilience and experiment): report stats, evict old entries, or fsck every \
+          stored frame.")
+    term
+
 (* --- model --- *)
 
 let model_cmd =
@@ -581,6 +687,7 @@ let main_cmd =
       experiment_cmd;
       intercontact_cmd;
       communities_cmd;
+      store_cmd;
       model_cmd;
     ]
 

@@ -12,6 +12,8 @@
     - analytics: {!Homogeneous}, {!Inhomogeneous}, {!Montecarlo}, {!Ode};
     - forwarding evaluation: {!Message}, {!Workload}, {!Algorithm},
       {!Engine}, {!Faults}, {!Metrics}, {!Runner}, {!Registry};
+    - result store: {!Store}, {!Store_codec}, {!Store_key},
+      {!Store_memo}, {!Cache}, {!Fnv};
     - experiment drivers: {!Experiments}, {!Report};
     - utilities: {!Rng}, {!Dist}, and the statistics toolbox
       ({!Summary}, {!Quantile}, {!Cdf}, {!Histogram}, {!Boxplot},
@@ -87,6 +89,14 @@ module Faults = Psn_sim.Faults
 module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel
+module Cache = Psn_sim.Cache
+
+(* Result store (content-addressed memoization) *)
+module Store = Psn_store.Store
+module Store_codec = Psn_store.Codec
+module Store_key = Psn_store.Key
+module Store_memo = Psn_store.Memo
+module Fnv = Psn_store.Fnv
 
 (* Algorithms *)
 module Contact_history = Psn_forwarding.Contact_history

@@ -77,6 +77,14 @@ module Faults = Psn_sim.Faults
 module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel
+module Cache = Psn_sim.Cache
+
+(* Result store (content-addressed memoization) *)
+module Store = Psn_store.Store
+module Store_codec = Psn_store.Codec
+module Store_key = Psn_store.Key
+module Store_memo = Psn_store.Memo
+module Fnv = Psn_store.Fnv
 
 (* Algorithms *)
 module Contact_history = Psn_forwarding.Contact_history

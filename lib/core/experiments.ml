@@ -14,6 +14,9 @@ module Message = Psn_sim.Message
 module Workload = Psn_sim.Workload
 module Parallel = Psn_sim.Parallel
 module Faults = Psn_sim.Faults
+module Store = Psn_store.Store
+module Store_key = Psn_store.Key
+module Store_memo = Psn_store.Memo
 
 type scale = {
   n_messages : int;
@@ -61,7 +64,33 @@ let random_message rng trace =
   in
   (src, dst, Rng.float rng (generation_window trace))
 
-let enumeration_study ?jobs ?(scale = default_scale) dataset =
+(* Memoized enumeration fan-out, mirroring the runner's store
+   discipline: the store is touched only from the calling domain —
+   finds before, puts after the parallel section over misses — so a
+   warm store changes wall time, never results. *)
+let enumerate_specs ?jobs ?store ~trace ~config snap specs =
+  let compute (src, dst, t_create) = Enumerate.run ~config snap ~src ~dst ~t_create in
+  match store with
+  | None -> Parallel.map ?jobs compute specs
+  | Some st ->
+    let trace_hash = Store_key.trace_hash trace in
+    let key (src, dst, t_create) =
+      Store_key.enumeration ~trace_hash ~config ~src ~dst ~t_create
+    in
+    let n = Array.length specs in
+    let cached = Array.map (fun s -> Store.find_enumeration st (key s)) specs in
+    let miss_idx =
+      Array.of_list
+        (List.filter (fun i -> Option.is_none cached.(i)) (List.init n (fun i -> i)))
+    in
+    let computed = Parallel.map ?jobs (fun i -> compute specs.(i)) miss_idx in
+    Array.iteri (fun j i -> Store.put_enumeration st (key specs.(i)) computed.(j)) miss_idx;
+    let rank = Array.make n (-1) in
+    Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
+    Array.init n (fun i ->
+        match cached.(i) with Some v -> v | None -> computed.(rank.(i)))
+
+let enumeration_study ?jobs ?store ?(scale = default_scale) dataset =
   let trace = Dataset.generate dataset in
   let classify = Classify.of_trace trace in
   let snap = Snapshot.of_trace trace in
@@ -76,10 +105,13 @@ let enumeration_study ?jobs ?(scale = default_scale) dataset =
   for i = 0 to scale.n_messages - 1 do
     specs.(i) <- random_message rng trace
   done;
+  let results = enumerate_specs ?jobs ?store ~trace ~config snap specs in
+  (* Post-processing is cheap and pure, so only the enumeration itself
+     goes through the parallel (and memoized) fan-out above. *)
   let messages =
-    Parallel.map ?jobs
-      (fun (src, dst, t_create) ->
-        let result = Enumerate.run ~config snap ~src ~dst ~t_create in
+    List.init scale.n_messages (fun i ->
+        let src, dst, t_create = specs.(i) in
+        let result = results.(i) in
         let sample_paths =
           Array.to_list result.Enumerate.arrivals
           |> List.filteri (fun i _ -> i < scale.hop_paths_per_message)
@@ -94,8 +126,6 @@ let enumeration_study ?jobs ?(scale = default_scale) dataset =
           arrival_times = Enumerate.arrival_times result;
           sample_paths;
         })
-      specs
-    |> Array.to_list
   in
   { dataset; trace; classify; scale; messages }
 
@@ -212,17 +242,28 @@ type sim_study = {
   runs : (Registry.entry * Engine.outcome list) list;
 }
 
-let sim_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
+(* One store-backed outcome cache per algorithm. Keys use the entry's
+   stable registry [name] (never the display label, never anything the
+   factory computes), so a warm store answers without constructing the
+   algorithm at all. *)
+let entry_caches store ~trace ?faults ~workload entries =
+  let trace_hash = Store_key.trace_hash trace in
+  List.map
+    (fun (e : Registry.entry) ->
+      Store_memo.runner_cache ~store ~trace_hash ~workload ?faults
+        ~algo:e.Registry.name ())
+    entries
+
+let sim_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
   let trace = Dataset.generate dataset in
+  let workload = Workload.paper_spec ~n_nodes:(Trace.n_nodes trace) in
   let spec =
-    {
-      Psn_sim.Runner.workload = Workload.paper_spec ~n_nodes:(Trace.n_nodes trace);
-      seeds = Psn_sim.Runner.default_seeds scale.seeds;
-    }
+    { Psn_sim.Runner.workload; seeds = Psn_sim.Runner.default_seeds scale.seeds }
   in
+  let stores = Option.map (fun st -> entry_caches st ~trace ~workload entries) store in
   (* One parallel batch over the whole algorithm × seed grid. *)
   let outcomes =
-    Psn_sim.Runner.outcomes_many ?jobs ~trace ~spec
+    Psn_sim.Runner.outcomes_many ?jobs ?stores ~trace ~spec
       ~factories:(List.map (fun (e : Registry.entry) -> e.Registry.factory) entries)
       ()
   in
@@ -359,7 +400,7 @@ let default_fault_spec =
 
 let default_intensities = [ 0.; 0.5; 1.; 2. ]
 
-let resilience_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_six)
+let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
     ?(base = default_fault_spec) ?(intensities = default_intensities) ?(path_messages = 40)
     dataset =
   (match Faults.validate base with
@@ -367,11 +408,9 @@ let resilience_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_s
   | Ok () -> ());
   let trace = Dataset.generate dataset in
   let n_nodes = Trace.n_nodes trace in
+  let workload = Workload.paper_spec ~n_nodes in
   let spec =
-    {
-      Psn_sim.Runner.workload = Workload.paper_spec ~n_nodes;
-      seeds = Psn_sim.Runner.default_seeds scale.seeds;
-    }
+    { Psn_sim.Runner.workload; seeds = Psn_sim.Runner.default_seeds scale.seeds }
   in
   (* Path-survival probes: the same message specs are enumerated on the
      pristine trace once and on every degraded trace, so each level's
@@ -383,22 +422,28 @@ let resilience_study ?jobs ?(scale = default_scale) ?(entries = Registry.paper_s
   let config =
     { Enumerate.k = scale.k; max_hops = None; stop_at_total = Some scale.n_explosion; exhaustive = false }
   in
-  let enumerate_all snap =
-    Parallel.map ?jobs
-      (fun (src, dst, t_create) -> Enumerate.run ~config snap ~src ~dst ~t_create)
-      probes
+  (* Both the pristine baseline and every degraded level go through the
+     memoized fan-out; degraded levels key on the degraded trace's own
+     content hash, so levels never alias each other or the baseline. *)
+  let enumerate_all tr =
+    enumerate_specs ?jobs ?store ~trace:tr ~config (Snapshot.of_trace tr) probes
   in
-  let baseline = enumerate_all (Snapshot.of_trace trace) in
+  let baseline = enumerate_all trace in
   let factories = List.map (fun (e : Registry.entry) -> e.Registry.factory) entries in
   let levels =
     List.map
       (fun intensity ->
         let level_spec = Faults.scale intensity base in
         let plan = Faults.compile ~n_nodes ~horizon:(Trace.horizon trace) level_spec in
-        let metrics =
-          Psn_sim.Runner.run_many ?jobs ~faults:plan ~trace ~spec ~factories ()
+        let stores =
+          Option.map
+            (fun st -> entry_caches st ~trace ~faults:level_spec ~workload entries)
+            store
         in
-        let degraded = enumerate_all (Snapshot.of_trace (Faults.degrade plan trace)) in
+        let metrics =
+          Psn_sim.Runner.run_many ?jobs ?stores ~faults:plan ~trace ~spec ~factories ()
+        in
+        let degraded = enumerate_all (Faults.degrade plan trace) in
         let survival =
           List.init path_messages (fun i ->
               Psn_paths.Explosion.survival ~baseline:baseline.(i) ~degraded:degraded.(i))

@@ -48,13 +48,16 @@ type study = {
   messages : message_result list;
 }
 
-val enumeration_study : ?jobs:int -> ?scale:scale -> Psn_trace.Dataset.t -> study
+val enumeration_study :
+  ?jobs:int -> ?store:Psn_store.Store.t -> ?scale:scale -> Psn_trace.Dataset.t -> study
 (** Enumerate paths for [scale.n_messages] random messages over the
     dataset's trace. The expensive call — share the result across
     figure functions. The per-message enumerations are independent and
     run on [jobs] domains (default {!Psn_sim.Parallel.default_jobs});
     messages are drawn sequentially first, so results do not depend on
-    [jobs]. *)
+    [jobs]. [store], when given, memoizes each per-message enumeration
+    (keyed on trace content, config and message spec) without changing
+    any result. *)
 
 (** {1 Figures 1-8, 11, 14, 15 (measurement side)} *)
 
@@ -106,6 +109,7 @@ type sim_study = {
 
 val sim_study :
   ?jobs:int ->
+  ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
   Psn_trace.Dataset.t ->
@@ -113,7 +117,9 @@ val sim_study :
 (** Run each algorithm ([entries] defaults to the paper's six) over
     [scale.seeds] Poisson workloads (rate 1/4 s over the first two
     hours, as in §6.1). The algorithm × seed grid is one parallel batch
-    over [jobs] domains; output is independent of [jobs]. *)
+    over [jobs] domains; output is independent of [jobs]. [store], when
+    given, memoizes each (algorithm, seed) outcome — a warm store
+    replays the study bit-identically without running the engine. *)
 
 val fig9 : sim_study -> (string * Psn_sim.Metrics.t) list
 (** Average delay and success rate per algorithm — one Fig. 9 panel. *)
@@ -173,6 +179,7 @@ val default_fault_spec : Psn_sim.Faults.spec
 
 val resilience_study :
   ?jobs:int ->
+  ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
   ?base:Psn_sim.Faults.spec ->
@@ -190,7 +197,10 @@ val resilience_study :
     sublinearly in intensity exactly where surviving path counts stay
     large, and the six algorithms should stay near-identical — path
     diversity, not algorithm choice, buys the graceful degradation.
-    Deterministic for any [jobs]. *)
+    Deterministic for any [jobs]. [store] memoizes both the per-level
+    simulation outcomes (keyed on the fault spec among other inputs)
+    and the probe enumerations (keyed on the degraded trace's content
+    hash). *)
 
 (** {1 Analytic-model tables (§5)} *)
 

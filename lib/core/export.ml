@@ -12,10 +12,14 @@ let slug s =
 let write_lines ~dir ~file lines =
   ensure_dir dir;
   let path = Filename.concat dir file in
-  let oc = open_out path in
+  (* Write-to-temp then rename so a crash mid-write never leaves a
+     truncated data file where a previous complete one stood. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> List.iter (fun line -> output_string oc (line ^ "\n")) lines);
+  Sys.rename tmp path;
   path
 
 let write_cdfs ~dir ~name cdfs =

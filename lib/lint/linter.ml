@@ -108,6 +108,15 @@ let ident_rule parts =
       ( "hashtbl-hash",
         Printf.sprintf
           "Hashtbl.%s walks value representations; only Faults' keyed hashing may use it" fn )
+  | "Marshal" :: _ ->
+    Some
+      ( "marshal",
+        "marshalled bytes are not stable across compiler versions; use Psn_store's codec" )
+  | [ ("output_value" | "input_value") as fn ] ->
+    Some
+      ( "marshal",
+        Printf.sprintf
+          "%s is Marshal in disguise; use Psn_store's versioned codec for persistence" fn )
   | [ "Obj"; "magic" ] -> Some ("obj-magic", "Obj.magic defeats the type system")
   | [ "failwith" ] ->
     Some ("failwith", "raise Invalid_argument or return a typed error instead of Failure")

@@ -52,6 +52,11 @@ let all =
       rationale = "Library validation errors must be Invalid_argument or a typed Error so CLI error paths stay one-line-to-stderr; Failure is indistinguishable from an internal bug.";
     };
     {
+      name = "marshal";
+      summary = "Marshal (or output_value/input_value) serialization";
+      rationale = "Marshalled bytes depend on the compiler version and on value sharing, so they are neither canonical nor stable across builds; persist results through Psn_store's versioned, CRC-checked codec instead.";
+    };
+    {
       name = "obj-magic";
       summary = "Obj.magic defeats the type system";
       rationale = "Any unsoundness can surface as silent memory corruption, which is the worst possible nondeterminism.";

@@ -1,0 +1,4 @@
+type t = {
+  find : seed:int64 -> Engine.outcome option;
+  store : seed:int64 -> Engine.outcome -> unit;
+}

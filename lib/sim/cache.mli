@@ -1,0 +1,21 @@
+(** Neutral outcome-cache interface for the runner.
+
+    [Runner] can consult a per-algorithm cache for the outcome of a
+    seed before simulating, and offer the computed outcome back after
+    a miss. This record is the whole contract — the runner neither
+    knows nor cares where entries live, which keeps [psn_sim] free of
+    a dependency on the store library (the store depends on [psn_sim],
+    not the other way round). [Psn_store.Memo] builds values of this
+    type backed by the on-disk store.
+
+    Both closures are called only from the domain that called the
+    runner, outside its parallel section, so implementations need no
+    synchronisation — and cache availability can never perturb the
+    deterministic results contract. *)
+
+type t = {
+  find : seed:int64 -> Engine.outcome option;
+      (** [None] = miss; the runner will simulate this seed. *)
+  store : seed:int64 -> Engine.outcome -> unit;
+      (** Offer a freshly computed outcome for this seed. *)
+}

@@ -12,30 +12,81 @@ let run_seed ?faults ~trace ~spec ~factory seed =
   let messages = Workload.generate ~rng spec.workload in
   Engine.run ?faults ~trace ~messages (factory trace)
 
-let outcomes ?jobs ?faults ~trace ~spec ~factory () =
+(* Memoized fan-out over an arbitrary task grid. The cache is only
+   touched from the calling domain — all lookups happen before the
+   parallel section and all stores after it — so cache backends need
+   no synchronisation and results are stitched back by index, keeping
+   the bit-identical [jobs] contract regardless of the hit pattern. *)
+let cached_map ?jobs ~find ~store ~compute tasks =
+  let n = Array.length tasks in
+  let cached = Array.map find tasks in
+  let miss_idx =
+    Array.of_list
+      (List.filter
+         (fun i -> Option.is_none cached.(i))
+         (List.init n (fun i -> i)))
+  in
+  let computed =
+    Parallel.map ?jobs (fun i -> compute tasks.(i)) miss_idx
+  in
+  Array.iteri (fun j i -> store tasks.(i) computed.(j)) miss_idx;
+  let rank = Array.make n (-1) in
+  Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
+  Array.init n (fun i ->
+      match cached.(i) with
+      | Some v -> v
+      | None -> computed.(rank.(i)))
+
+let outcomes ?jobs ?faults ?store ~trace ~spec ~factory () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
-  Parallel.map_list ?jobs (run_seed ?faults ~trace ~spec ~factory) spec.seeds
+  let seeds = Array.of_list spec.seeds in
+  match store with
+  | None ->
+    Parallel.map_list ?jobs (run_seed ?faults ~trace ~spec ~factory) spec.seeds
+  | Some cache ->
+    cached_map ?jobs
+      ~find:(fun seed -> cache.Cache.find ~seed)
+      ~store:(fun seed outcome -> cache.Cache.store ~seed outcome)
+      ~compute:(run_seed ?faults ~trace ~spec ~factory)
+      seeds
+    |> Array.to_list
 
-let run_algorithm ?jobs ?faults ~trace ~spec ~factory () =
-  Metrics.pool (outcomes ?jobs ?faults ~trace ~spec ~factory ())
+let run_algorithm ?jobs ?faults ?store ~trace ~spec ~factory () =
+  Metrics.pool (outcomes ?jobs ?faults ?store ~trace ~spec ~factory ())
 
-let outcomes_many ?jobs ?faults ~trace ~spec ~factories () =
+let outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
   let n_seeds = Array.length seeds in
+  let caches =
+    match stores with
+    | None -> None
+    | Some cs ->
+      if List.length cs <> Array.length facs then
+        invalid_arg "Runner: need one cache per factory";
+      Some (Array.of_list cs)
+  in
   (* Flatten the (factory, seed) grid into one task array so a few slow
      algorithms cannot leave workers idle, then regroup by factory. *)
   let tasks =
     Array.init
       (Array.length facs * n_seeds)
-      (fun i -> (facs.(i / n_seeds), seeds.(i mod n_seeds)))
+      (fun i -> (i / n_seeds, seeds.(i mod n_seeds)))
   in
+  let compute (fi, seed) = run_seed ?faults ~trace ~spec ~factory:facs.(fi) seed in
   let outs =
-    Parallel.map ?jobs (fun (factory, seed) -> run_seed ?faults ~trace ~spec ~factory seed) tasks
+    match caches with
+    | None -> Parallel.map ?jobs compute tasks
+    | Some caches ->
+      cached_map ?jobs
+        ~find:(fun (fi, seed) -> caches.(fi).Cache.find ~seed)
+        ~store:(fun (fi, seed) outcome -> caches.(fi).Cache.store ~seed outcome)
+        ~compute tasks
   in
   List.init (Array.length facs) (fun fi ->
       List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
 
-let run_many ?jobs ?faults ~trace ~spec ~factories () =
-  List.map Metrics.pool (outcomes_many ?jobs ?faults ~trace ~spec ~factories ())
+let run_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
+  List.map Metrics.pool
+    (outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories ())

@@ -14,7 +14,16 @@
     Every entry point also takes [?faults]: a compiled {!Faults.plan}
     applied identically to every run of the batch. Fault verdicts are
     pure functions of the plan and the faulted entity, so faulted
-    sweeps keep the bit-identical [jobs] contract. *)
+    sweeps keep the bit-identical [jobs] contract.
+
+    Every entry point also takes an optional outcome cache ([?store] /
+    [?stores], see {!Cache}): per-seed outcomes found in the cache are
+    not recomputed, and freshly computed ones are offered back. The
+    cache is consulted strictly before and updated strictly after the
+    parallel section, from the calling domain, so caching composes
+    with any [jobs] value and — because a hit is byte-for-byte the
+    outcome that the same inputs would recompute — cannot change
+    results, only wall time. *)
 
 type run_spec = {
   workload : Workload.spec;
@@ -28,6 +37,7 @@ val default_seeds : int -> int64 list
 val run_algorithm :
   ?jobs:int ->
   ?faults:Faults.plan ->
+  ?store:Cache.t ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -40,17 +50,21 @@ val run_algorithm :
 val run_many :
   ?jobs:int ->
   ?faults:Faults.plan ->
+  ?stores:Cache.t list ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->
   unit ->
   Metrics.t list
 (** {!run_algorithm} for each factory, same seeds — so algorithms face
-    identical workloads, as in a paired comparison. *)
+    identical workloads, as in a paired comparison. [stores], when
+    given, must supply one cache per factory (in factory order);
+    raises [Invalid_argument] otherwise. *)
 
 val outcomes :
   ?jobs:int ->
   ?faults:Faults.plan ->
+  ?store:Cache.t ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -62,6 +76,7 @@ val outcomes :
 val outcomes_many :
   ?jobs:int ->
   ?faults:Faults.plan ->
+  ?stores:Cache.t list ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->

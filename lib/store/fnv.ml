@@ -1,0 +1,15 @@
+(* FNV-1a, 64-bit: h <- (h xor byte) * prime, with wrapping Int64
+   multiplication. Parameters are the standard Fowler-Noll-Vo
+   constants. *)
+
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let of_string ?(init = offset_basis) s =
+  let h = ref init in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h

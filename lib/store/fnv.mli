@@ -1,0 +1,18 @@
+(** FNV-1a/64: the store's content hash.
+
+    A tiny, dependency-free, exactly-specified hash. Unlike
+    [Hashtbl.hash] it reads bytes, not value representations, so its
+    output is a pure function of the input string — stable across
+    compiler versions, word sizes and GC layouts, which is the whole
+    point of content addressing. Not cryptographic: cache keys name
+    results, they do not authenticate them (the CRC framing in
+    {!Codec} catches corruption; adversarial collisions are out of
+    scope for a local result cache). *)
+
+val of_string : ?init:int64 -> string -> int64
+(** FNV-1a over every byte of the string. [init] defaults to the
+    standard 64-bit offset basis; passing a previous digest chains
+    hashes over concatenated inputs. *)
+
+val to_hex : int64 -> string
+(** Fixed-width lowercase hex (16 characters). *)

@@ -1,0 +1,69 @@
+module Workload = Psn_sim.Workload
+module Faults = Psn_sim.Faults
+
+type t = int64
+
+let to_hex = Fnv.to_hex
+
+let trace_hash trace = Fnv.of_string (Codec.encode_trace trace)
+
+(* Key material is written with the same fixed-width little-endian
+   discipline as the codec payloads: every field has exactly one byte
+   representation, so the digest is canonical. *)
+
+let w_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let fault_material b (f : Faults.spec) =
+  w_f64 b f.Faults.loss;
+  w_f64 b f.Faults.crash_rate;
+  w_f64 b f.Faults.down_time;
+  w_f64 b f.Faults.jitter;
+  Buffer.add_int64_le b f.Faults.seed
+
+let fault_hash f =
+  let b = Buffer.create 40 in
+  fault_material b f;
+  Fnv.of_string (Buffer.contents b)
+
+(* Leading tag byte separates the key families; the format version is
+   folded in so a codec bump orphans (never resurrects) old entries. *)
+let digest tag fill =
+  let b = Buffer.create 96 in
+  Buffer.add_uint8 b tag;
+  Buffer.add_uint16_le b Codec.version;
+  fill b;
+  Fnv.of_string (Buffer.contents b)
+
+let outcome ~trace_hash ~workload ~algo ~seed ?faults () =
+  digest 1 (fun b ->
+      Buffer.add_int64_le b trace_hash;
+      w_f64 b workload.Workload.rate;
+      w_f64 b workload.Workload.t_start;
+      w_f64 b workload.Workload.t_end;
+      Buffer.add_int64_le b (Int64.of_int workload.Workload.n_nodes);
+      Buffer.add_int64_le b seed;
+      (match faults with
+      | None -> Buffer.add_uint8 b 0
+      | Some f ->
+        Buffer.add_uint8 b 1;
+        Buffer.add_int64_le b (fault_hash f));
+      Buffer.add_string b algo)
+
+let enumeration ~trace_hash ~config ~src ~dst ~t_create =
+  digest 2 (fun b ->
+      Buffer.add_int64_le b trace_hash;
+      Buffer.add_int64_le b (Int64.of_int config.Psn_paths.Enumerate.k);
+      (match config.Psn_paths.Enumerate.max_hops with
+      | None -> Buffer.add_uint8 b 0
+      | Some h ->
+        Buffer.add_uint8 b 1;
+        Buffer.add_int64_le b (Int64.of_int h));
+      (match config.Psn_paths.Enumerate.stop_at_total with
+      | None -> Buffer.add_uint8 b 0
+      | Some n ->
+        Buffer.add_uint8 b 1;
+        Buffer.add_int64_le b (Int64.of_int n));
+      Buffer.add_uint8 b (if config.Psn_paths.Enumerate.exhaustive then 1 else 0);
+      Buffer.add_int64_le b (Int64.of_int src);
+      Buffer.add_int64_le b (Int64.of_int dst);
+      w_f64 b t_create)

@@ -1,0 +1,63 @@
+(** Cache-key composition.
+
+    A key names the complete input closure of a memoized computation.
+    PRs 1-3 made every run a bit-identical pure function of its
+    inputs, so equality of inputs implies bit-equality of outputs —
+    which is exactly the license memoization needs. A runner-outcome
+    key folds together, via {!Fnv} over a canonical byte encoding:
+
+    - the {!Codec} format version (a codec change re-keys everything);
+    - the trace content hash ({!trace_hash});
+    - every field of the workload spec;
+    - the algorithm's stable registry id (e.g. ["greedy-total"] —
+      {e not} the display label, and never anything computed by
+      constructing the algorithm, so cache hits skip construction);
+    - the run seed;
+    - the fault-plan hash ({!fault_hash}), or an explicit absent tag.
+
+    Enumeration keys fold the version, trace hash, full enumeration
+    config and the message spec instead.
+
+    Keys are 64-bit; with the store's realistic populations (at most
+    tens of thousands of entries) accidental collision odds are below
+    one in ten billion. The store additionally checks the frame kind
+    and payload invariants on every read, so an undecodable or
+    mismatched entry is treated as absent, never returned as data. *)
+
+type t
+(** A composed 64-bit cache key. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex characters — the entry's file name in the store. *)
+
+val trace_hash : Psn_trace.Trace.t -> int64
+(** {!Fnv} digest of the trace's canonical {!Codec} encoding: two
+    traces share a hash iff they have the same population, horizon,
+    node kinds and contact set. *)
+
+val fault_hash : Psn_sim.Faults.spec -> int64
+(** Digest of a fault spec (loss, crash rate, downtime, jitter, seed).
+    Plans compile deterministically from (spec, population, horizon),
+    and the trace hash already pins population and horizon, so the
+    spec digest identifies the compiled plan. *)
+
+val outcome :
+  trace_hash:int64 ->
+  workload:Psn_sim.Workload.spec ->
+  algo:string ->
+  seed:int64 ->
+  ?faults:Psn_sim.Faults.spec ->
+  unit ->
+  t
+(** Key of one [Runner.run_seed] outcome: (trace, workload, algorithm,
+    seed, faults, format version). *)
+
+val enumeration :
+  trace_hash:int64 ->
+  config:Psn_paths.Enumerate.config ->
+  src:Psn_trace.Node.id ->
+  dst:Psn_trace.Node.id ->
+  t_create:float ->
+  t
+(** Key of one {!Psn_paths.Enumerate.run} result over the snapshot of
+    the hashed trace. *)

@@ -1,0 +1,6 @@
+let runner_cache ~store ~trace_hash ~workload ?faults ~algo () =
+  let key seed = Key.outcome ~trace_hash ~workload ~algo ~seed ?faults () in
+  {
+    Psn_sim.Cache.find = (fun ~seed -> Store.find_outcome store (key seed));
+    store = (fun ~seed outcome -> Store.put_outcome store (key seed) outcome);
+  }

@@ -1,0 +1,14 @@
+(** Glue from the on-disk store to the runner's cache interface. *)
+
+val runner_cache :
+  store:Store.t ->
+  trace_hash:int64 ->
+  workload:Psn_sim.Workload.spec ->
+  ?faults:Psn_sim.Faults.spec ->
+  algo:string ->
+  unit ->
+  Psn_sim.Cache.t
+(** A per-algorithm outcome cache backed by [store]. [algo] must be
+    the algorithm's stable registry id (see {!Key}); [trace_hash] is
+    {!Key.trace_hash} of the trace being simulated — computed once by
+    the caller and shared across all algorithms of a sweep. *)

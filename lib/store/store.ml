@@ -1,0 +1,326 @@
+module Det_tbl = Psn_det.Det_tbl
+
+type entry = {
+  kind : Codec.kind;
+  size : int;
+  mutable last_access : int64;
+}
+
+type t = {
+  dir : string;
+  tbl : (string, entry) Hashtbl.t;  (* hex key -> entry *)
+  mutable clock : int64;  (* logical access clock; never wall time *)
+  mutable hits : int64;
+  mutable misses : int64;
+}
+
+let dir t = t.dir
+
+let tick st =
+  st.clock <- Int64.add st.clock 1L;
+  st.clock
+
+(* ---- paths ---------------------------------------------------------- *)
+
+let manifest_name = "manifest.psn"
+let manifest_path dir = Filename.concat dir manifest_name
+
+let entry_rel hex =
+  Filename.concat (String.sub hex 0 2)
+    (Filename.concat (String.sub hex 2 2) (hex ^ ".psn"))
+
+let entry_path st hex = Filename.concat st.dir (entry_rel hex)
+
+let rec ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if String.length parent < String.length path then ensure_dir parent;
+    match Sys.mkdir path 0o755 with
+    | () -> ()
+    | exception Sys_error _ ->
+      (* lost a race or the parent reappeared: only fatal if the path
+         still isn't a directory *)
+      if not (Sys.is_directory path) then
+        raise (Sys_error (path ^ ": cannot create directory"))
+  end
+
+(* ---- raw file I/O --------------------------------------------------- *)
+
+let read_file path =
+  match In_channel.open_bin path with
+  | ic ->
+    let data = In_channel.input_all ic in
+    In_channel.close ic;
+    Some data
+  | exception Sys_error _ -> None
+
+let write_atomic path data =
+  let tmp = path ^ ".tmp" in
+  let oc = Out_channel.open_bin tmp in
+  Out_channel.output_string oc data;
+  Out_channel.close oc;
+  Sys.rename tmp path
+
+(* ---- disk walk ------------------------------------------------------ *)
+
+let sorted_names dir =
+  match Sys.readdir dir with
+  | arr ->
+    Array.sort String.compare arr;
+    Array.to_list arr
+  | exception Sys_error _ -> []
+
+let is_shard dir name =
+  String.length name = 2 && Sys.is_directory (Filename.concat dir name)
+
+(* Visit every entry frame under the shard directories in path order.
+   [f ~rel ~data] gets the path relative to the store root and the raw
+   bytes ([None] if the file vanished or is unreadable). *)
+let walk_entries dir f =
+  List.iter
+    (fun s1 ->
+      if is_shard dir s1 then
+        let d1 = Filename.concat dir s1 in
+        List.iter
+          (fun s2 ->
+            if is_shard d1 s2 then
+              let d2 = Filename.concat d1 s2 in
+              List.iter
+                (fun file ->
+                  if Filename.check_suffix file ".psn" then
+                    let rel =
+                      Filename.concat s1 (Filename.concat s2 file)
+                    in
+                    f ~rel ~data:(read_file (Filename.concat dir rel)))
+                (sorted_names d2))
+          (sorted_names d1))
+    (sorted_names dir)
+
+(* ---- manifest ------------------------------------------------------- *)
+
+let save_manifest st =
+  let m_entries =
+    Det_tbl.bindings ~cmp:String.compare st.tbl
+    |> List.map (fun (hex, e) ->
+           {
+             Codec.e_key = hex;
+             e_kind = e.kind;
+             e_size = e.size;
+             e_last_access = e.last_access;
+           })
+  in
+  let m =
+    {
+      Codec.m_clock = st.clock;
+      m_hits = st.hits;
+      m_misses = st.misses;
+      m_entries;
+    }
+  in
+  write_atomic (manifest_path st.dir) (Codec.encode_manifest m)
+
+(* Rebuild the index from disk: every frame that fully verifies gets a
+   row with its access stamp reset to zero. Deterministic — depends
+   only on directory contents, not on scan time. *)
+let rescan dir tbl =
+  walk_entries dir (fun ~rel ~data ->
+      match data with
+      | None -> ()
+      | Some data -> (
+        match Codec.verify_frame data with
+        | Error (_ : Codec.error) -> ()
+        | Ok kind ->
+          let hex = Filename.remove_extension (Filename.basename rel) in
+          Hashtbl.replace tbl hex
+            { kind; size = String.length data; last_access = 0L }))
+
+let open_ ~dir =
+  ensure_dir dir;
+  let tbl = Hashtbl.create 64 in
+  let clock, hits, misses =
+    match read_file (manifest_path dir) with
+    | None ->
+      rescan dir tbl;
+      (0L, 0L, 0L)
+    | Some data -> (
+      match Codec.decode_manifest data with
+      | Error (_ : Codec.error) ->
+        rescan dir tbl;
+        (0L, 0L, 0L)
+      | Ok m ->
+        List.iter
+          (fun (e : Codec.manifest_entry) ->
+            Hashtbl.replace tbl e.Codec.e_key
+              {
+                kind = e.Codec.e_kind;
+                size = e.Codec.e_size;
+                last_access = e.Codec.e_last_access;
+              })
+          m.Codec.m_entries;
+        (m.Codec.m_clock, m.Codec.m_hits, m.Codec.m_misses))
+  in
+  let st = { dir; tbl; clock; hits; misses } in
+  save_manifest st;
+  st
+
+(* ---- memoization ---------------------------------------------------- *)
+
+let find_with decode ~kind st key =
+  let hex = Key.to_hex key in
+  let stamp = tick st in
+  let found =
+    match read_file (entry_path st hex) with
+    | None -> None
+    | Some data -> (
+      match decode data with
+      | Ok v -> Some (v, String.length data)
+      | Error (_ : Codec.error) -> None)
+  in
+  match found with
+  | Some (v, size) ->
+    st.hits <- Int64.add st.hits 1L;
+    Hashtbl.replace st.tbl hex { kind; size; last_access = stamp };
+    save_manifest st;
+    Some v
+  | None ->
+    (* missing or undecodable entry: a miss. Drop any stale index row
+       so the store self-repairs; the caller's recompute-and-put
+       overwrites the bad frame. *)
+    st.misses <- Int64.add st.misses 1L;
+    Hashtbl.remove st.tbl hex;
+    save_manifest st;
+    None
+
+let put_with encode ~kind st key v =
+  let hex = Key.to_hex key in
+  let stamp = tick st in
+  let data = encode v in
+  let path = entry_path st hex in
+  ensure_dir (Filename.dirname path);
+  write_atomic path data;
+  Hashtbl.replace st.tbl hex
+    { kind; size = String.length data; last_access = stamp };
+  save_manifest st
+
+let find_outcome st key = find_with Codec.decode_outcome ~kind:Codec.Outcome st key
+let put_outcome st key v = put_with Codec.encode_outcome ~kind:Codec.Outcome st key v
+
+let find_enumeration st key =
+  find_with Codec.decode_enumeration ~kind:Codec.Enumeration st key
+
+let put_enumeration st key v =
+  put_with Codec.encode_enumeration ~kind:Codec.Enumeration st key v
+
+(* ---- maintenance ---------------------------------------------------- *)
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int64;
+  misses : int64;
+}
+
+let stats st =
+  let bindings = Det_tbl.bindings ~cmp:String.compare st.tbl in
+  let bytes = List.fold_left (fun acc (_, e) -> acc + e.size) 0 bindings in
+  { entries = List.length bindings; bytes; hits = st.hits; misses = st.misses }
+
+type gc_report = {
+  evicted : int;
+  freed_bytes : int;
+  kept : int;
+  kept_bytes : int;
+}
+
+let gc st ~max_bytes =
+  let bindings = Det_tbl.bindings ~cmp:String.compare st.tbl in
+  let total = List.fold_left (fun acc (_, e) -> acc + e.size) 0 bindings in
+  (* Least-recently-used first; access stamps are logical clock ticks,
+     ties broken by key so the order is a pure function of history. *)
+  let order =
+    List.sort
+      (fun (h1, e1) (h2, e2) ->
+        match Int64.compare e1.last_access e2.last_access with
+        | 0 -> String.compare h1 h2
+        | c -> c)
+      bindings
+  in
+  let rec evict_loop evicted freed remaining = function
+    | [] -> (evicted, freed)
+    | (hex, e) :: rest ->
+      if remaining <= max_bytes then (evicted, freed)
+      else begin
+        (match Sys.remove (entry_path st hex) with
+        | () -> ()
+        | exception Sys_error _ -> ());
+        Hashtbl.remove st.tbl hex;
+        evict_loop (evicted + 1) (freed + e.size) (remaining - e.size) rest
+      end
+  in
+  let evicted, freed_bytes = evict_loop 0 0 total order in
+  save_manifest st;
+  {
+    evicted;
+    freed_bytes;
+    kept = Hashtbl.length st.tbl;
+    kept_bytes = total - freed_bytes;
+  }
+
+type fsck_error = {
+  fsck_path : string;
+  fsck_offset : int;
+  fsck_reason : string;
+}
+
+type fsck_report = {
+  checked : int;
+  ok : int;
+  fsck_errors : fsck_error list;
+}
+
+let verify st =
+  let checked = ref 0 in
+  let ok = ref 0 in
+  let errors = ref [] in
+  let seen = Hashtbl.create 64 in
+  let err fsck_path fsck_offset fsck_reason =
+    errors := { fsck_path; fsck_offset; fsck_reason } :: !errors
+  in
+  walk_entries st.dir (fun ~rel ~data ->
+      incr checked;
+      Hashtbl.replace seen (Filename.remove_extension (Filename.basename rel)) ();
+      match data with
+      | None -> err rel 0 "unreadable"
+      | Some data -> (
+        match Codec.verify_frame data with
+        | Ok (_ : Codec.kind) ->
+          incr ok;
+          if
+            not
+              (Hashtbl.mem st.tbl
+                 (Filename.remove_extension (Filename.basename rel)))
+          then err rel 0 "not in manifest index"
+        | Error (e : Codec.error) -> err rel e.Codec.offset e.Codec.reason));
+  (* the manifest frame itself *)
+  (match read_file (manifest_path st.dir) with
+  | None -> err manifest_name 0 "missing"
+  | Some data ->
+    incr checked;
+    (match Codec.decode_manifest data with
+    | Ok (_ : Codec.manifest) -> incr ok
+    | Error (e : Codec.error) -> err manifest_name e.Codec.offset e.Codec.reason));
+  (* index rows whose frame is gone from disk *)
+  List.iter
+    (fun (hex, (_ : entry)) ->
+      if not (Hashtbl.mem seen hex) then
+        err (entry_rel hex) 0 "indexed but missing on disk")
+    (Det_tbl.bindings ~cmp:String.compare st.tbl);
+  let fsck_errors =
+    List.sort
+      (fun a b ->
+        match String.compare a.fsck_path b.fsck_path with
+        | 0 -> Int.compare a.fsck_offset b.fsck_offset
+        | c -> c)
+      !errors
+  in
+  { checked = !checked; ok = !ok; fsck_errors }

@@ -1,0 +1,92 @@
+(** On-disk content-addressed result store.
+
+    Layout under the store directory:
+
+    {v
+    manifest.psn          index frame (clock, hit/miss counters, rows)
+    ab/cd/abcd0123....psn entry frames, sharded on the key's first
+                          two hex-pairs
+    v}
+
+    Every write is atomic: the frame goes to a [.tmp] file in the
+    entry's shard directory and is renamed into place, so readers (and
+    crashes) never observe a torn entry. The manifest is rewritten the
+    same way after every mutating operation.
+
+    A corrupt entry is never fatal anywhere: {!find_outcome} and
+    {!find_enumeration} treat it as a miss (the caller recomputes and
+    the subsequent put overwrites — self-repair), and {!verify}
+    reports it with its path and the failing byte offset.
+
+    Access stamps and eviction order come from a logical clock that
+    ticks once per store operation — never wall time — so [gc] is a
+    deterministic function of the store's history.
+
+    The store is single-process, single-writer: callers in one process
+    must funnel operations through one [t] from one domain (the runner
+    integration queries before and stores after its parallel section,
+    from the calling domain). *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating the directory if needed) the store at [dir]. Loads
+    the manifest; if it is missing or corrupt, rebuilds the index by
+    scanning the shard directories and verifying each frame, dropping
+    undecodable entries. Raises [Sys_error] only if [dir] cannot be
+    created or read at all. *)
+
+val dir : t -> string
+
+(** {1 Memoization} *)
+
+val find_outcome : t -> Key.t -> Psn_sim.Engine.outcome option
+(** [None] on a missing, undecodable or wrong-kind entry; every call
+    counts as a hit or a miss in {!stats}. *)
+
+val put_outcome : t -> Key.t -> Psn_sim.Engine.outcome -> unit
+(** Atomically (over)write the entry for this key. *)
+
+val find_enumeration : t -> Key.t -> Psn_paths.Enumerate.result option
+val put_enumeration : t -> Key.t -> Psn_paths.Enumerate.result -> unit
+
+(** {1 Maintenance} *)
+
+type stats = {
+  entries : int;
+  bytes : int;  (** Sum of entry frame sizes (manifest excluded). *)
+  hits : int64;  (** Lifetime, persisted in the manifest. *)
+  misses : int64;
+}
+
+val stats : t -> stats
+
+type gc_report = {
+  evicted : int;
+  freed_bytes : int;
+  kept : int;
+  kept_bytes : int;
+}
+
+val gc : t -> max_bytes:int -> gc_report
+(** Evict least-recently-used entries (by logical access stamp, ties
+    broken by key hex) until at most [max_bytes] of entry data
+    remain. [gc ~max_bytes:0] empties the store. *)
+
+type fsck_error = {
+  fsck_path : string;  (** Path relative to the store directory. *)
+  fsck_offset : int;  (** Byte offset of the failed check. *)
+  fsck_reason : string;
+}
+
+type fsck_report = {
+  checked : int;
+  ok : int;
+  fsck_errors : fsck_error list;  (** Sorted by path. *)
+}
+
+val verify : t -> fsck_report
+(** Fully decode every entry on disk ({!Codec.verify_frame}) plus the
+    manifest, reporting — never raising on — every corrupt frame.
+    Also flags entries present on disk but missing from the index and
+    vice versa. *)

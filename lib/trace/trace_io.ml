@@ -128,8 +128,12 @@ let of_string text =
           match Trace.validate trace with Ok () -> Ok trace | Error msg -> Error msg))))
 
 let save trace ~path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string trace))
+  (* Write-to-temp then rename: a crash mid-write can leave a stray
+     [.tmp] but never a truncated trace under the requested name. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string trace));
+  Sys.rename tmp path
 
 let load ~path =
   match open_in path with

@@ -1,0 +1,30 @@
+(* Test helper: flip one byte in the first store entry (path order)
+   under the directory given as argv(1), so the golden CLI test can
+   exercise [store verify] on a deterministically corrupted frame.
+   Skips manifest.psn — the point is a damaged entry, not a lost
+   index. *)
+
+let rec entries dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun name ->
+         let p = Filename.concat dir name in
+         if Sys.is_directory p then entries p
+         else if Filename.check_suffix name ".psn" && not (String.equal name "manifest.psn")
+         then [ p ]
+         else [])
+
+let () =
+  let dir = Sys.argv.(1) in
+  match entries dir with
+  | [] ->
+    prerr_endline "corrupt_store: no entries found";
+    exit 1
+  | path :: _ ->
+    let ic = open_in_bin path in
+    let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+    close_in ic;
+    (* byte 20 sits inside the payload, past the 11-byte header *)
+    Bytes.set data 20 (Char.chr (Char.code (Bytes.get data 20) lxor 0x5a));
+    let oc = open_out_bin path in
+    output_bytes oc data;
+    close_out oc

@@ -1,0 +1,12 @@
+[@@@lint.allow "missing-mli"]
+
+(* Marshalled bytes are compiler- and sharing-dependent, so they can
+   never serve as canonical content for hashing or persistence. *)
+let persist oc value = Marshal.to_channel oc value []
+
+let restore ic : int list = Marshal.from_channel ic
+
+(* The Stdlib aliases are the same serializer wearing a thinner name. *)
+let persist_alias oc value = output_value oc value
+
+let restore_alias ic : int list = input_value ic
