@@ -71,9 +71,9 @@ let wanted options id =
 
 let section options id render =
   if wanted options id then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Core.Clock.now_s () in
     let text = render () in
-    Printf.printf "%s\n[%s took %.1fs]\n\n%!" text id (Unix.gettimeofday () -. t0)
+    Printf.printf "%s\n[%s took %.1fs]\n\n%!" text id (Core.Clock.now_s () -. t0)
   end
 
 (* Studies are built lazily and cached so --only runs stay cheap. *)
@@ -448,9 +448,9 @@ let () =
       let entries = Core.Registry.paper_six in
       let factories = List.map (fun e -> e.Core.Registry.factory) entries in
       let time jobs =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Core.Clock.now_s () in
         let metrics = Core.Runner.run_many ~jobs ~trace ~spec ~factories () in
-        (Unix.gettimeofday () -. t0, metrics)
+        (Core.Clock.now_s () -. t0, metrics)
       in
       let cores = Core.Parallel.default_jobs () in
       let jobs_par = Int.max 4 (Int.max options.jobs cores) in
@@ -502,7 +502,7 @@ let () =
       let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds n_seeds } in
       let entries = Core.Registry.paper_six in
       let factories = List.map (fun e -> e.Core.Registry.factory) entries in
-      let st = Core.Store.open_ ~dir:options.store_dir in
+      let st = Core.Store.open_ ~dir:options.store_dir () in
       ignore (Core.Store.gc st ~max_bytes:0);
       let caches =
         let trace_hash = Core.Store_key.trace_hash trace in
@@ -513,9 +513,9 @@ let () =
           entries
       in
       let time jobs =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Core.Clock.now_s () in
         let metrics = Core.Runner.run_many ~jobs ~stores:caches ~trace ~spec ~factories () in
-        (Unix.gettimeofday () -. t0, metrics)
+        (Core.Clock.now_s () -. t0, metrics)
       in
       let wall_cold, metrics_cold = time options.jobs in
       let wall_warm, metrics_warm = time options.jobs in

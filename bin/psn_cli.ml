@@ -79,7 +79,8 @@ let store_arg =
   in
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
-let resolve_store = Option.map (fun dir -> or_die (fun () -> Core.Store.open_ ~dir))
+let resolve_store ?telemetry =
+  Option.map (fun dir -> or_die (fun () -> Core.Store.open_ ?telemetry ~dir ()))
 
 (* Run [f] with the opened store (if any) and report what the store
    contributed to this invocation. *)
@@ -96,6 +97,68 @@ let with_store_report store f =
       (Int64.sub after.Core.Store.misses before.Core.Store.misses)
       after.Core.Store.entries after.Core.Store.bytes;
     r
+
+(* --- telemetry --- *)
+
+let trace_out_arg names =
+  let doc =
+    "Write a Chrome trace-event JSON profile of this invocation to $(docv). Open it in \
+     Perfetto (ui.perfetto.dev) or chrome://tracing; parallel sections render as one \
+     track per worker domain."
+  in
+  Arg.(value & opt (some string) None & info names ~docv:"FILE" ~doc)
+
+let profile_flag =
+  let doc =
+    "After the results, print a profile report: span tree with per-phase total/self \
+     times, counters, gauge digests and the store hit rate."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Recording is wired up only when asked for: with neither --trace nor
+   --profile the sink stays null, so the instrumented hot paths cost a
+   pattern match. [finish] must run after all of the command's work and
+   normal output. *)
+type telemetry_ctx = {
+  sink : Core.Telemetry.sink;
+  finish : store:Core.Store.t option -> unit;
+}
+
+let telemetry_ctx ~command ~trace_out ~profile =
+  if Option.is_none trace_out && not profile then
+    { sink = Core.Telemetry.Sink.null; finish = (fun ~store:_ -> ()) }
+  else begin
+    let c = Core.Telemetry.create () in
+    let sink = Core.Telemetry.sink c in
+    (* One root span over everything the command does, so the profile
+       report's coverage line reflects the whole invocation. *)
+    Core.Telemetry.begin_span sink
+      ~args:[ ("command", Core.Telemetry.Str command) ]
+      "psn.command";
+    let finish ~store =
+      Core.Telemetry.end_span sink;
+      let summary = Core.Telemetry.close c in
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+        or_die (fun () -> Core.Chrome.save summary ~path);
+        Format.printf "wrote Chrome trace to %s@." path);
+      if profile then begin
+        print_string (Core.Profile.render ~title:(Printf.sprintf "psn %s" command) summary);
+        match store with
+        | None -> ()
+        | Some st -> (
+          let s = Core.Store.stats st in
+          match s.Core.Store.hit_rate with
+          | Some rate ->
+            Format.printf "store hit rate: %.1f%% (%Ld of %Ld lookups)@." (100. *. rate)
+              s.Core.Store.hits
+              (Int64.add s.Core.Store.hits s.Core.Store.misses)
+          | None -> Format.printf "store hit rate: n/a (no lookups yet)@.")
+      end
+    in
+    { sink; finish }
+  end
 
 (* --- generate --- *)
 
@@ -191,7 +254,7 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k jobs store =
+  let run dataset seed messages k jobs store trace_out profile =
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -204,9 +267,12 @@ let explosion_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      let ctx = telemetry_ctx ~command:"explosion" ~trace_out ~profile in
+      let store = resolve_store ~telemetry:ctx.sink store in
       let study =
-        with_store_report (resolve_store store) (fun store ->
-            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ?store ~scale d)
+        with_store_report store (fun store ->
+            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ?store ~scale
+              ~telemetry:ctx.sink d)
       in
       print_endline
         (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
@@ -216,9 +282,14 @@ let explosion_cmd =
            (Core.Experiments.fig4b [ study ]));
       print_endline
         (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
-           (Core.Experiments.fig8 study))
+           (Core.Experiments.fig8 study));
+      ctx.finish ~store
   in
-  let term = Term.(const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ store_arg) in
+  let term =
+    Term.(
+      const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ store_arg
+      $ trace_out_arg [ "trace" ] $ profile_flag)
+  in
   Cmd.v
     (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
     term
@@ -235,10 +306,11 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds jobs store =
+  let run dataset seed trace_path algorithms seeds jobs store trace_out profile =
     let jobs = resolve_jobs jobs in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     let label, trace = resolve_trace dataset seed trace_path in
+    let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile in
     let entries =
       match algorithms with
       | None -> Core.Registry.paper_six
@@ -252,8 +324,9 @@ let simulate_cmd =
     let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
     let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds seeds } in
     (* One batch over the whole algorithm × seed grid. *)
+    let store = resolve_store ~telemetry:ctx.sink store in
     let metrics =
-      with_store_report (resolve_store store) (fun store ->
+      with_store_report store (fun store ->
           let stores =
             Option.map
               (fun st ->
@@ -266,7 +339,7 @@ let simulate_cmd =
               store
           in
           or_die (fun () ->
-              Core.Runner.run_many ~jobs ?stores ~trace ~spec
+              Core.Runner.run_many ~jobs ?stores ~telemetry:ctx.sink ~trace ~spec
                 ~factories:
                   (List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
                 ()))
@@ -277,10 +350,13 @@ let simulate_cmd =
     print_endline
       (Core.Report.render_metrics
          ~title:(Printf.sprintf "Forwarding performance (%s, %d seeds)" label seeds)
-         rows)
+         rows);
+    ctx.finish ~store
   in
   let term =
-    Term.(const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ store_arg)
+    Term.(
+      const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ store_arg
+      $ trace_out_arg [ "trace-out" ] $ profile_flag)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
@@ -333,7 +409,7 @@ let resilience_cmd =
           ~doc:"Messages whose path survival is enumerated per level.")
   in
   let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs
-      store =
+      store trace_out profile =
     let jobs = resolve_jobs jobs in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     if probes < 1 then exit_err "--probes must be at least 1";
@@ -367,23 +443,27 @@ let resilience_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      let ctx = telemetry_ctx ~command:"resilience" ~trace_out ~profile in
+      let store = resolve_store ~telemetry:ctx.sink store in
       let study =
-        with_store_report (resolve_store store) (fun store ->
+        with_store_report store (fun store ->
             or_die (fun () ->
                 Core.Experiments.resilience_study ~jobs ?store ~scale ~base ~intensities
-                  ~path_messages:probes d))
+                  ~path_messages:probes ~telemetry:ctx.sink d))
       in
       print_endline
         (Core.Report.render_resilience
            ~title:
              (Printf.sprintf "Resilience: the paper's six algorithms under injected faults (%s)"
                 d.Core.Dataset.label)
-           study)
+           study);
+      ctx.finish ~store
   in
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
-      $ fault_seed $ seeds $ probes $ jobs_arg $ store_arg)
+      $ fault_seed $ seeds $ probes $ jobs_arg $ store_arg $ trace_out_arg [ "trace" ]
+      $ profile_flag)
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -605,14 +685,17 @@ let store_cmd =
              empties the store).")
   in
   let run action dir max_bytes =
-    let st = or_die (fun () -> Core.Store.open_ ~dir) in
+    let st = or_die (fun () -> Core.Store.open_ ~dir ()) in
     match action with
     | `Stats ->
       let s = Core.Store.stats st in
       Format.printf "store %s: %d entries, %d bytes@." dir s.Core.Store.entries
         s.Core.Store.bytes;
       Format.printf "lifetime: %Ld hit(s), %Ld miss(es)@." s.Core.Store.hits
-        s.Core.Store.misses
+        s.Core.Store.misses;
+      (match s.Core.Store.hit_rate with
+      | Some rate -> Format.printf "hit rate: %.1f%%@." (100. *. rate)
+      | None -> Format.printf "hit rate: n/a (no lookups yet)@.")
     | `Gc ->
       if max_bytes < 0 then exit_err "--max-bytes must be non-negative";
       let r = Core.Store.gc st ~max_bytes in
@@ -638,6 +721,65 @@ let store_cmd =
          "Maintain a content-addressed result store (see --store on simulate, explosion, \
           resilience and experiment): report stats, evict old entries, or fsck every \
           stored frame.")
+    term
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let messages =
+    Arg.(
+      value & opt int 40
+      & info [ "messages" ] ~docv:"N" ~doc:"Messages for the enumeration sweep.")
+  in
+  let seeds =
+    Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"N" ~doc:"Simulation runs per algorithm.")
+  in
+  let run dataset seed messages seeds jobs store trace_out =
+    let jobs = resolve_jobs jobs in
+    if seeds < 1 then exit_err "--seeds must be at least 1";
+    if messages < 1 then exit_err "--messages must be at least 1";
+    match Core.Dataset.find dataset with
+    | Error msg -> exit_err msg
+    | Ok d ->
+      let scale =
+        {
+          Core.Experiments.default_scale with
+          Core.Experiments.n_messages = messages;
+          seeds;
+          rng_seed = Option.value seed ~default:17L;
+        }
+      in
+      let ctx = telemetry_ctx ~command:"profile" ~trace_out ~profile:true in
+      let store = resolve_store ~telemetry:ctx.sink store in
+      let study, sim =
+        with_store_report store (fun store ->
+            or_die (fun () ->
+                let study =
+                  Core.Experiments.enumeration_study ~jobs ?store ~scale ~telemetry:ctx.sink d
+                in
+                let sim =
+                  Core.Experiments.sim_study ~jobs ?store ~scale ~telemetry:ctx.sink d
+                in
+                (study, sim)))
+      in
+      Format.printf "profiled %s: %d enumeration(s), %d algorithm(s) x %d seed(s)@."
+        d.Core.Dataset.label
+        (List.length study.Core.Experiments.messages)
+        (List.length sim.Core.Experiments.runs)
+        seeds;
+      ctx.finish ~store
+  in
+  let term =
+    Term.(
+      const run $ dataset_arg $ seed_arg $ messages $ seeds $ jobs_arg $ store_arg
+      $ trace_out_arg [ "trace" ])
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a representative workload (a path-enumeration sweep plus the paper's six \
+          forwarding algorithms) under full instrumentation and report where the time \
+          went; --trace additionally dumps a Chrome trace.")
     term
 
 (* --- model --- *)
@@ -688,6 +830,7 @@ let main_cmd =
       intercontact_cmd;
       communities_cmd;
       store_cmd;
+      profile_cmd;
       model_cmd;
     ]
 

@@ -14,6 +14,7 @@
       {!Engine}, {!Faults}, {!Metrics}, {!Runner}, {!Registry};
     - result store: {!Store}, {!Store_codec}, {!Store_key},
       {!Store_memo}, {!Cache}, {!Fnv};
+    - telemetry: {!Telemetry}, {!Chrome}, {!Profile}, {!Clock};
     - experiment drivers: {!Experiments}, {!Report};
     - utilities: {!Rng}, {!Dist}, and the statistics toolbox
       ({!Summary}, {!Quantile}, {!Cdf}, {!Histogram}, {!Boxplot},
@@ -90,6 +91,12 @@ module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel
 module Cache = Psn_sim.Cache
+
+(* Telemetry (spans, counters, Chrome-trace and profile exporters) *)
+module Telemetry = Psn_telemetry.Telemetry
+module Chrome = Psn_telemetry.Chrome
+module Profile = Psn_telemetry.Profile
+module Clock = Psn_telemetry.Clock
 
 (* Result store (content-addressed memoization) *)
 module Store = Psn_store.Store

@@ -79,6 +79,12 @@ module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel
 module Cache = Psn_sim.Cache
 
+(* Telemetry (spans, counters, Chrome-trace and profile exporters) *)
+module Telemetry = Psn_telemetry.Telemetry
+module Chrome = Psn_telemetry.Chrome
+module Profile = Psn_telemetry.Profile
+module Clock = Psn_telemetry.Clock
+
 (* Result store (content-addressed memoization) *)
 module Store = Psn_store.Store
 module Store_codec = Psn_store.Codec

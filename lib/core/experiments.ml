@@ -17,6 +17,7 @@ module Faults = Psn_sim.Faults
 module Store = Psn_store.Store
 module Store_key = Psn_store.Key
 module Store_memo = Psn_store.Memo
+module T = Psn_telemetry.Telemetry
 
 type scale = {
   n_messages : int;
@@ -68,29 +69,49 @@ let random_message rng trace =
    discipline: the store is touched only from the calling domain —
    finds before, puts after the parallel section over misses — so a
    warm store changes wall time, never results. *)
-let enumerate_specs ?jobs ?store ~trace ~config snap specs =
-  let compute (src, dst, t_create) = Enumerate.run ~config snap ~src ~dst ~t_create in
+let enumerate_specs ?jobs ?store ?(telemetry = T.Sink.null) ~trace ~config snap specs =
+  let compute sink (src, dst, t_create) =
+    T.with_span sink "paths.enumerate"
+      ~args:[ ("src", T.Int src); ("dst", T.Int dst) ]
+      (fun () -> Enumerate.run ~config snap ~src ~dst ~t_create)
+  in
+  T.count telemetry "paths.enumerations" (Array.length specs);
   match store with
-  | None -> Parallel.map ?jobs compute specs
+  | None -> Parallel.map_traced ?jobs ~telemetry compute specs
   | Some st ->
     let trace_hash = Store_key.trace_hash trace in
     let key (src, dst, t_create) =
       Store_key.enumeration ~trace_hash ~config ~src ~dst ~t_create
     in
     let n = Array.length specs in
-    let cached = Array.map (fun s -> Store.find_enumeration st (key s)) specs in
+    let cached =
+      T.with_span telemetry "paths.cache_lookup" (fun () ->
+          Array.map (fun s -> Store.find_enumeration st (key s)) specs)
+    in
     let miss_idx =
       Array.of_list
         (List.filter (fun i -> Option.is_none cached.(i)) (List.init n (fun i -> i)))
     in
-    let computed = Parallel.map ?jobs (fun i -> compute specs.(i)) miss_idx in
-    Array.iteri (fun j i -> Store.put_enumeration st (key specs.(i)) computed.(j)) miss_idx;
+    T.count telemetry "paths.cache_hits" (n - Array.length miss_idx);
+    T.count telemetry "paths.cache_misses" (Array.length miss_idx);
+    let computed =
+      Parallel.map_traced ?jobs ~telemetry (fun sink i -> compute sink specs.(i)) miss_idx
+    in
+    T.with_span telemetry "paths.cache_store" (fun () ->
+        Array.iteri
+          (fun j i -> Store.put_enumeration st (key specs.(i)) computed.(j))
+          miss_idx);
     let rank = Array.make n (-1) in
     Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
     Array.init n (fun i ->
         match cached.(i) with Some v -> v | None -> computed.(rank.(i)))
 
-let enumeration_study ?jobs ?store ?(scale = default_scale) dataset =
+let enumeration_study ?jobs ?store ?(scale = default_scale) ?(telemetry = T.Sink.null) dataset
+    =
+  T.with_span telemetry "experiments.enumeration_study"
+    ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
+  @@ fun () ->
+  T.begin_span telemetry "experiments.setup";
   let trace = Dataset.generate dataset in
   let classify = Classify.of_trace trace in
   let snap = Snapshot.of_trace trace in
@@ -105,7 +126,10 @@ let enumeration_study ?jobs ?store ?(scale = default_scale) dataset =
   for i = 0 to scale.n_messages - 1 do
     specs.(i) <- random_message rng trace
   done;
-  let results = enumerate_specs ?jobs ?store ~trace ~config snap specs in
+  T.end_span telemetry;
+  let results = enumerate_specs ?jobs ?store ~telemetry ~trace ~config snap specs in
+  T.with_span telemetry "experiments.collect"
+  @@ fun () ->
   (* Post-processing is cheap and pure, so only the enumeration itself
      goes through the parallel (and memoized) fan-out above. *)
   let messages =
@@ -254,16 +278,22 @@ let entry_caches store ~trace ?faults ~workload entries =
         ~algo:e.Registry.name ())
     entries
 
-let sim_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six) dataset =
+let sim_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
+    ?(telemetry = T.Sink.null) dataset =
+  T.with_span telemetry "experiments.sim_study"
+    ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
+  @@ fun () ->
+  T.begin_span telemetry "experiments.setup";
   let trace = Dataset.generate dataset in
   let workload = Workload.paper_spec ~n_nodes:(Trace.n_nodes trace) in
   let spec =
     { Psn_sim.Runner.workload; seeds = Psn_sim.Runner.default_seeds scale.seeds }
   in
   let stores = Option.map (fun st -> entry_caches st ~trace ~workload entries) store in
+  T.end_span telemetry;
   (* One parallel batch over the whole algorithm × seed grid. *)
   let outcomes =
-    Psn_sim.Runner.outcomes_many ?jobs ?stores ~trace ~spec
+    Psn_sim.Runner.outcomes_many ?jobs ?stores ~telemetry ~trace ~spec
       ~factories:(List.map (fun (e : Registry.entry) -> e.Registry.factory) entries)
       ()
   in
@@ -402,7 +432,10 @@ let default_intensities = [ 0.; 0.5; 1.; 2. ]
 
 let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
     ?(base = default_fault_spec) ?(intensities = default_intensities) ?(path_messages = 40)
-    dataset =
+    ?(telemetry = T.Sink.null) dataset =
+  T.with_span telemetry "experiments.resilience_study"
+    ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
+  @@ fun () ->
   (match Faults.validate base with
   | Error msg -> invalid_arg ("Experiments.resilience_study: " ^ msg)
   | Ok () -> ());
@@ -426,13 +459,18 @@ let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.
      memoized fan-out; degraded levels key on the degraded trace's own
      content hash, so levels never alias each other or the baseline. *)
   let enumerate_all tr =
-    enumerate_specs ?jobs ?store ~trace:tr ~config (Snapshot.of_trace tr) probes
+    enumerate_specs ?jobs ?store ~telemetry ~trace:tr ~config (Snapshot.of_trace tr) probes
   in
-  let baseline = enumerate_all trace in
+  let baseline =
+    T.with_span telemetry "experiments.baseline" (fun () -> enumerate_all trace)
+  in
   let factories = List.map (fun (e : Registry.entry) -> e.Registry.factory) entries in
   let levels =
     List.map
       (fun intensity ->
+        T.with_span telemetry "experiments.level"
+          ~args:[ ("intensity", T.Float intensity) ]
+        @@ fun () ->
         let level_spec = Faults.scale intensity base in
         let plan = Faults.compile ~n_nodes ~horizon:(Trace.horizon trace) level_spec in
         let stores =
@@ -441,7 +479,8 @@ let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.
             store
         in
         let metrics =
-          Psn_sim.Runner.run_many ?jobs ?stores ~faults:plan ~trace ~spec ~factories ()
+          Psn_sim.Runner.run_many ?jobs ?stores ~telemetry ~faults:plan ~trace ~spec
+            ~factories ()
         in
         let degraded = enumerate_all (Faults.degrade plan trace) in
         let survival =

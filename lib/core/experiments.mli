@@ -49,7 +49,12 @@ type study = {
 }
 
 val enumeration_study :
-  ?jobs:int -> ?store:Psn_store.Store.t -> ?scale:scale -> Psn_trace.Dataset.t -> study
+  ?jobs:int ->
+  ?store:Psn_store.Store.t ->
+  ?scale:scale ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  Psn_trace.Dataset.t ->
+  study
 (** Enumerate paths for [scale.n_messages] random messages over the
     dataset's trace. The expensive call — share the result across
     figure functions. The per-message enumerations are independent and
@@ -57,7 +62,10 @@ val enumeration_study :
     messages are drawn sequentially first, so results do not depend on
     [jobs]. [store], when given, memoizes each per-message enumeration
     (keyed on trace content, config and message spec) without changing
-    any result. *)
+    any result. [telemetry] (default null) records phase spans
+    ([setup] / per-pair ["paths.enumerate"] / [collect]) and
+    enumeration cache counters; instrumentation never changes the
+    study. *)
 
 (** {1 Figures 1-8, 11, 14, 15 (measurement side)} *)
 
@@ -112,6 +120,7 @@ val sim_study :
   ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   Psn_trace.Dataset.t ->
   sim_study
 (** Run each algorithm ([entries] defaults to the paper's six) over
@@ -119,7 +128,9 @@ val sim_study :
     hours, as in §6.1). The algorithm × seed grid is one parallel batch
     over [jobs] domains; output is independent of [jobs]. [store], when
     given, memoizes each (algorithm, seed) outcome — a warm store
-    replays the study bit-identically without running the engine. *)
+    replays the study bit-identically without running the engine.
+    [telemetry] (default null) wraps the study in phase spans and
+    threads through to the runner and engine. *)
 
 val fig9 : sim_study -> (string * Psn_sim.Metrics.t) list
 (** Average delay and success rate per algorithm — one Fig. 9 panel. *)
@@ -185,6 +196,7 @@ val resilience_study :
   ?base:Psn_sim.Faults.spec ->
   ?intensities:float list ->
   ?path_messages:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   Psn_trace.Dataset.t ->
   resilience_study
 (** The robustness experiment the paper's thesis implies but never runs:
@@ -200,7 +212,9 @@ val resilience_study :
     Deterministic for any [jobs]. [store] memoizes both the per-level
     simulation outcomes (keyed on the fault spec among other inputs)
     and the probe enumerations (keyed on the degraded trace's content
-    hash). *)
+    hash). [telemetry] (default null) records one ["experiments.level"]
+    span per intensity (tagged with the multiplier) around the fanned
+    runs and enumerations. *)
 
 (** {1 Analytic-model tables (§5)} *)
 

@@ -19,7 +19,7 @@ let all =
     {
       name = "wall-clock";
       summary = "reading the wall clock (Unix.gettimeofday, Unix.time, Sys.time, ...)";
-      rationale = "Simulation results must be a function of the trace and the seeds, never of when the process ran; only bench/ and bin/ may time themselves (via lint.toml).";
+      rationale = "Simulation results must be a function of the trace and the seeds, never of when the process ran; the one sanctioned clock read is lib/telemetry/clock.ml (allowlisted in lint.toml), which everything else must go through.";
     };
     {
       name = "hash-order-iteration";

@@ -1,5 +1,6 @@
 module Trace = Psn_trace.Trace
 module Contact = Psn_trace.Contact
+module T = Psn_telemetry.Telemetry
 
 type record = { message : Message.t; delivered : float option; copies : int; attempts : int }
 
@@ -50,7 +51,11 @@ let build_events trace messages n_msgs =
   Array.sort compare_events events;
   events
 
-let run ?ttl ?faults ~trace ~messages algorithm =
+let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
+  T.with_span telemetry "engine.run"
+    ~args:[ ("algorithm", T.Str algorithm.Algorithm.name) ]
+  @@ fun () ->
+  T.begin_span telemetry "engine.setup";
   (match ttl with
   | Some t when not (t > 0.) ->
     invalid_arg (Printf.sprintf "Engine.run: ttl must be positive (got %g)" t)
@@ -227,35 +232,44 @@ let run ?ttl ?faults ~trace ~messages algorithm =
       | Some m -> offer m ~holder:a ~peer:b time
     done
   in
-  Array.iter
-    (fun (time, event) ->
-      match event with
-      | Contact_end (a, b) ->
-        remove_peer a b;
-        remove_peer b a
-      | Contact_start (a, b) ->
-        algorithm.Algorithm.observe_contact ~time ~a ~b;
-        add_peer a b;
-        add_peer b a;
-        exchange a b time;
-        exchange b a time
-      | Create m ->
-        algorithm.Algorithm.on_create m;
-        receive m m.Message.src time)
-    (build_events trace messages n_msgs);
-  let records =
-    List.map
-      (fun (m : Message.t) ->
-        {
-          message = m;
-          delivered = delivered.(m.Message.id);
-          copies = copies_of.(m.Message.id);
-          attempts = attempts_of.(m.Message.id);
-        })
-      messages
-    |> Array.of_list
-  in
-  { algorithm = algorithm.Algorithm.name; records; copies = !copies; attempts = !attempts }
+  let events = build_events trace messages n_msgs in
+  T.end_span telemetry;
+  T.count telemetry "engine.runs" 1;
+  T.count telemetry "engine.events" (Array.length events);
+  T.with_span telemetry "engine.drain" (fun () ->
+      Array.iter
+        (fun (time, event) ->
+          match event with
+          | Contact_end (a, b) ->
+            remove_peer a b;
+            remove_peer b a
+          | Contact_start (a, b) ->
+            algorithm.Algorithm.observe_contact ~time ~a ~b;
+            add_peer a b;
+            add_peer b a;
+            exchange a b time;
+            exchange b a time
+          | Create m ->
+            algorithm.Algorithm.on_create m;
+            receive m m.Message.src time)
+        events);
+  T.count telemetry "engine.transmissions" !copies;
+  T.count telemetry "engine.attempts" !attempts;
+  T.count telemetry "engine.transfers_lost" (!attempts - !copies);
+  T.with_span telemetry "engine.finish" (fun () ->
+      let records =
+        List.map
+          (fun (m : Message.t) ->
+            {
+              message = m;
+              delivered = delivered.(m.Message.id);
+              copies = copies_of.(m.Message.id);
+              attempts = attempts_of.(m.Message.id);
+            })
+          messages
+        |> Array.of_list
+      in
+      { algorithm = algorithm.Algorithm.name; records; copies = !copies; attempts = !attempts })
 
 let delay record =
   Option.map (fun t -> t -. record.message.Message.t_create) record.delivered

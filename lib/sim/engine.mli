@@ -41,6 +41,7 @@ type outcome = {
 val run :
   ?ttl:float ->
   ?faults:Faults.plan ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   messages:Message.t list ->
   Algorithm.t ->
@@ -65,7 +66,15 @@ val run :
     scheduling order, so faulted runs stay bit-identical for any
     [Parallel] fan-out. Endpoint/window validation happens against the
     pristine trace; the degraded trace keeps its population and
-    horizon. *)
+    horizon.
+
+    [telemetry] (default null, in which case instrumentation compiles
+    to no-ops) records an ["engine.run"] span tagged with the algorithm
+    name, nested ["engine.setup"] / ["engine.drain"] / ["engine.finish"]
+    phase spans, and counters for runs, events drained, transmissions,
+    attempts and transfers lost to fault injection. Telemetry describes
+    the run and never affects it: the outcome is bit-identical whether
+    the sink is null or active. *)
 
 val delay : record -> float option
 (** Delivery delay [delivered - t_create]. *)

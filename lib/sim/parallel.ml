@@ -1,11 +1,19 @@
+module T = Psn_telemetry.Telemetry
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 (* Work-stealing by atomic counter: workers claim the next unclaimed
    index until the range is exhausted. Each slot of [results] and
    [failures] is written by exactly one domain, and [Domain.join]
    publishes those writes to the caller, so no further synchronisation
-   is needed. *)
-let map ?jobs f tasks =
+   is needed.
+
+   Telemetry: worker [k] records into child sink [k] — forked before
+   the spawn, joined after [Domain.join] — so recording is lock-free
+   and the merged trace shows one track per worker domain. The queue
+   gauge samples how much of the range is still unclaimed at each
+   grab, which is the pool's backlog over time. *)
+let map_traced ?jobs ?(telemetry = T.Sink.null) f tasks =
   let n = Array.length tasks in
   let jobs =
     match jobs with
@@ -14,16 +22,19 @@ let map ?jobs f tasks =
     | None -> default_jobs ()
   in
   let jobs = Int.min jobs n in
-  if jobs <= 1 then Array.map f tasks
+  if jobs <= 1 then Array.map (f telemetry) tasks
   else begin
     let results = Array.make n None in
     let failures = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let sinks = T.fork telemetry jobs in
+    let worker k () =
+      let sink = sinks.(k) in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f tasks.(i) with
+          T.gauge sink "parallel.queue" (float_of_int (Int.max 0 (n - i - 1)));
+          (match f sink tasks.(i) with
           | v -> results.(i) <- Some v
           | exception e -> failures.(i) <- Some e);
           loop ()
@@ -31,11 +42,14 @@ let map ?jobs f tasks =
       in
       loop ()
     in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
     List.iter Domain.join domains;
+    T.join telemetry sinks;
     Array.iter (function Some e -> raise e | None -> ()) failures;
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+let map ?jobs f tasks = map_traced ?jobs (fun (_ : T.sink) task -> f task) tasks
 
 let map_list ?jobs f tasks = Array.to_list (map ?jobs f (Array.of_list tasks))

@@ -18,7 +18,12 @@
 
     Exceptions raised by tasks are caught per task and re-raised in the
     caller after all workers have drained, lowest task index first, so
-    failure behaviour is deterministic too. *)
+    failure behaviour is deterministic too.
+
+    Telemetry ({!map_traced}): each worker domain records into its own
+    forked {!Psn_telemetry.Telemetry.sink} (one Chrome-trace track per
+    domain), merged deterministically after the joins — recording is
+    lock-free and can never affect results, only describe them. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size used when
@@ -33,3 +38,19 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)
+
+val map_traced :
+  ?jobs:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  (Psn_telemetry.Telemetry.sink -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** {!map} where each task also receives the sink of the domain
+    executing it, so instrumented tasks (runner simulations, path
+    enumerations) attribute their spans to the right track. With
+    [jobs <= 1] (or a single task) tasks run on the calling domain and
+    record straight into [telemetry]; otherwise [jobs] child sinks are
+    {!Psn_telemetry.Telemetry.fork}ed, worker [k] records into child
+    [k] (including a ["parallel.queue"] backlog gauge sampled at each
+    claim), and the children are joined after the domains are. The
+    default sink is null, under which this is exactly {!map}. *)

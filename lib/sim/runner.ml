@@ -1,3 +1,5 @@
+module T = Psn_telemetry.Telemetry
+
 type run_spec = { workload : Workload.spec; seeds : int64 list }
 
 let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
@@ -7,29 +9,43 @@ let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
    across domains; results come back in seed order either way. The
    fault plan, when given, is shared read-only: its verdicts are pure
    functions of (plan, key), so sharing cannot couple the runs. *)
-let run_seed ?faults ~trace ~spec ~factory seed =
+let run_seed ?faults ?(telemetry = T.Sink.null) ~trace ~spec ~factory seed =
+  let algorithm = T.with_span telemetry "runner.factory" (fun () -> factory trace) in
+  T.with_span telemetry "runner.task"
+    ~args:
+      [
+        ("algorithm", T.Str algorithm.Algorithm.name);
+        ("seed", T.Str (Int64.to_string seed));
+      ]
+  @@ fun () ->
+  T.count telemetry "runner.tasks" 1;
   let rng = Psn_prng.Rng.create ~seed () in
   let messages = Workload.generate ~rng spec.workload in
-  Engine.run ?faults ~trace ~messages (factory trace)
+  Engine.run ?faults ~telemetry ~trace ~messages algorithm
 
 (* Memoized fan-out over an arbitrary task grid. The cache is only
    touched from the calling domain — all lookups happen before the
    parallel section and all stores after it — so cache backends need
    no synchronisation and results are stitched back by index, keeping
-   the bit-identical [jobs] contract regardless of the hit pattern. *)
-let cached_map ?jobs ~find ~store ~compute tasks =
+   the bit-identical [jobs] contract regardless of the hit pattern.
+   [compute] receives the sink of the domain that runs it, so task
+   spans land on the right trace track. *)
+let cached_map ?jobs ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
   let n = Array.length tasks in
-  let cached = Array.map find tasks in
+  let cached = T.with_span telemetry "runner.cache_lookup" (fun () -> Array.map find tasks) in
   let miss_idx =
     Array.of_list
       (List.filter
          (fun i -> Option.is_none cached.(i))
          (List.init n (fun i -> i)))
   in
+  T.count telemetry "runner.cache_hits" (n - Array.length miss_idx);
+  T.count telemetry "runner.cache_misses" (Array.length miss_idx);
   let computed =
-    Parallel.map ?jobs (fun i -> compute tasks.(i)) miss_idx
+    Parallel.map_traced ?jobs ~telemetry (fun sink i -> compute sink tasks.(i)) miss_idx
   in
-  Array.iteri (fun j i -> store tasks.(i) computed.(j)) miss_idx;
+  T.with_span telemetry "runner.cache_store" (fun () ->
+      Array.iteri (fun j i -> store tasks.(i) computed.(j)) miss_idx);
   let rank = Array.make n (-1) in
   Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
   Array.init n (fun i ->
@@ -37,24 +53,24 @@ let cached_map ?jobs ~find ~store ~compute tasks =
       | Some v -> v
       | None -> computed.(rank.(i)))
 
-let outcomes ?jobs ?faults ?store ~trace ~spec ~factory () =
+let outcomes ?jobs ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
+  let compute sink seed = run_seed ?faults ~telemetry:sink ~trace ~spec ~factory seed in
   match store with
-  | None ->
-    Parallel.map_list ?jobs (run_seed ?faults ~trace ~spec ~factory) spec.seeds
+  | None -> Array.to_list (Parallel.map_traced ?jobs ~telemetry compute seeds)
   | Some cache ->
-    cached_map ?jobs
+    cached_map ?jobs ~telemetry
       ~find:(fun seed -> cache.Cache.find ~seed)
       ~store:(fun seed outcome -> cache.Cache.store ~seed outcome)
-      ~compute:(run_seed ?faults ~trace ~spec ~factory)
-      seeds
+      ~compute seeds
     |> Array.to_list
 
-let run_algorithm ?jobs ?faults ?store ~trace ~spec ~factory () =
-  Metrics.pool (outcomes ?jobs ?faults ?store ~trace ~spec ~factory ())
+let run_algorithm ?jobs ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
+  let outs = outcomes ?jobs ?faults ?store ~telemetry ~trace ~spec ~factory () in
+  T.with_span telemetry "runner.metrics" (fun () -> Metrics.pool outs)
 
-let outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
+let outcomes_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
@@ -74,12 +90,14 @@ let outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
       (Array.length facs * n_seeds)
       (fun i -> (i / n_seeds, seeds.(i mod n_seeds)))
   in
-  let compute (fi, seed) = run_seed ?faults ~trace ~spec ~factory:facs.(fi) seed in
+  let compute sink (fi, seed) =
+    run_seed ?faults ~telemetry:sink ~trace ~spec ~factory:facs.(fi) seed
+  in
   let outs =
     match caches with
-    | None -> Parallel.map ?jobs compute tasks
+    | None -> Parallel.map_traced ?jobs ~telemetry compute tasks
     | Some caches ->
-      cached_map ?jobs
+      cached_map ?jobs ~telemetry
         ~find:(fun (fi, seed) -> caches.(fi).Cache.find ~seed)
         ~store:(fun (fi, seed) outcome -> caches.(fi).Cache.store ~seed outcome)
         ~compute tasks
@@ -87,6 +105,6 @@ let outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
   List.init (Array.length facs) (fun fi ->
       List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
 
-let run_many ?jobs ?faults ?stores ~trace ~spec ~factories () =
-  List.map Metrics.pool
-    (outcomes_many ?jobs ?faults ?stores ~trace ~spec ~factories ())
+let run_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
+  let outs = outcomes_many ?jobs ?faults ?stores ~telemetry ~trace ~spec ~factories () in
+  T.with_span telemetry "runner.metrics" (fun () -> List.map Metrics.pool outs)

@@ -23,7 +23,15 @@
     parallel section, from the calling domain, so caching composes
     with any [jobs] value and — because a hit is byte-for-byte the
     outcome that the same inputs would recompute — cannot change
-    results, only wall time. *)
+    results, only wall time.
+
+    Every entry point also takes [?telemetry] (default null): each run
+    records a ["runner.task"] span tagged with its algorithm name and
+    seed (on the track of the domain that executed it, via
+    {!Parallel.map_traced}), cached batches record hit/miss counters
+    and lookup/store spans, and the pooled aggregation records a
+    ["runner.metrics"] span. Instrumentation never affects outcomes —
+    results are bit-identical whether the sink is null or active. *)
 
 type run_spec = {
   workload : Workload.spec;
@@ -38,6 +46,7 @@ val run_algorithm :
   ?jobs:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -51,6 +60,7 @@ val run_many :
   ?jobs:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->
@@ -65,6 +75,7 @@ val outcomes :
   ?jobs:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factory:Algorithm.factory ->
@@ -77,6 +88,7 @@ val outcomes_many :
   ?jobs:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
   factories:Algorithm.factory list ->

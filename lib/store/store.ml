@@ -1,4 +1,5 @@
 module Det_tbl = Psn_det.Det_tbl
+module T = Psn_telemetry.Telemetry
 
 type entry = {
   kind : Codec.kind;
@@ -12,6 +13,10 @@ type t = {
   mutable clock : int64;  (* logical access clock; never wall time *)
   mutable hits : int64;
   mutable misses : int64;
+  telemetry : T.sink;
+      (* Recording sink; describes operations, never steers them. The
+         store is single-domain (see .mli), so the caller's sink is
+         safe to keep. *)
 }
 
 let dir t = t.dir
@@ -134,7 +139,7 @@ let rescan dir tbl =
           Hashtbl.replace tbl hex
             { kind; size = String.length data; last_access = 0L }))
 
-let open_ ~dir =
+let open_ ?(telemetry = T.Sink.null) ~dir () =
   ensure_dir dir;
   let tbl = Hashtbl.create 64 in
   let clock, hits, misses =
@@ -159,13 +164,15 @@ let open_ ~dir =
           m.Codec.m_entries;
         (m.Codec.m_clock, m.Codec.m_hits, m.Codec.m_misses))
   in
-  let st = { dir; tbl; clock; hits; misses } in
+  let st = { dir; tbl; clock; hits; misses; telemetry } in
   save_manifest st;
   st
 
 (* ---- memoization ---------------------------------------------------- *)
 
 let find_with decode ~kind st key =
+  T.with_span st.telemetry "store.lookup"
+  @@ fun () ->
   let hex = Key.to_hex key in
   let stamp = tick st in
   let found =
@@ -174,11 +181,17 @@ let find_with decode ~kind st key =
     | Some data -> (
       match decode data with
       | Ok v -> Some (v, String.length data)
-      | Error (_ : Codec.error) -> None)
+      | Error (_ : Codec.error) ->
+        (* undecodable frame: the self-repair path below will drop the
+           index row and the caller's put will overwrite it *)
+        T.count st.telemetry "store.corrupt_repairs" 1;
+        None)
   in
   match found with
   | Some (v, size) ->
     st.hits <- Int64.add st.hits 1L;
+    T.count st.telemetry "store.hits" 1;
+    T.count st.telemetry "store.bytes_read" size;
     Hashtbl.replace st.tbl hex { kind; size; last_access = stamp };
     save_manifest st;
     Some v
@@ -187,17 +200,22 @@ let find_with decode ~kind st key =
        so the store self-repairs; the caller's recompute-and-put
        overwrites the bad frame. *)
     st.misses <- Int64.add st.misses 1L;
+    T.count st.telemetry "store.misses" 1;
     Hashtbl.remove st.tbl hex;
     save_manifest st;
     None
 
 let put_with encode ~kind st key v =
+  T.with_span st.telemetry "store.insert"
+  @@ fun () ->
   let hex = Key.to_hex key in
   let stamp = tick st in
   let data = encode v in
   let path = entry_path st hex in
   ensure_dir (Filename.dirname path);
   write_atomic path data;
+  T.count st.telemetry "store.inserts" 1;
+  T.count st.telemetry "store.bytes_written" (String.length data);
   Hashtbl.replace st.tbl hex
     { kind; size = String.length data; last_access = stamp };
   save_manifest st
@@ -218,12 +236,26 @@ type stats = {
   bytes : int;
   hits : int64;
   misses : int64;
+  hit_rate : float option;
 }
+
+(* The one place the hit rate is computed; the CLI's [store stats]
+   output and the profile report both read it from here. *)
+let hit_rate ~hits ~misses =
+  let lookups = Int64.add hits misses in
+  if Int64.equal lookups 0L then None
+  else Some (Int64.to_float hits /. Int64.to_float lookups)
 
 let stats st =
   let bindings = Det_tbl.bindings ~cmp:String.compare st.tbl in
   let bytes = List.fold_left (fun acc (_, e) -> acc + e.size) 0 bindings in
-  { entries = List.length bindings; bytes; hits = st.hits; misses = st.misses }
+  {
+    entries = List.length bindings;
+    bytes;
+    hits = st.hits;
+    misses = st.misses;
+    hit_rate = hit_rate ~hits:st.hits ~misses:st.misses;
+  }
 
 type gc_report = {
   evicted : int;
@@ -233,6 +265,8 @@ type gc_report = {
 }
 
 let gc st ~max_bytes =
+  T.with_span st.telemetry "store.gc"
+  @@ fun () ->
   let bindings = Det_tbl.bindings ~cmp:String.compare st.tbl in
   let total = List.fold_left (fun acc (_, e) -> acc + e.size) 0 bindings in
   (* Least-recently-used first; access stamps are logical clock ticks,
@@ -258,6 +292,8 @@ let gc st ~max_bytes =
       end
   in
   let evicted, freed_bytes = evict_loop 0 0 total order in
+  T.count st.telemetry "store.evictions" evicted;
+  T.count st.telemetry "store.evicted_bytes" freed_bytes;
   save_manifest st;
   {
     evicted;

@@ -29,12 +29,19 @@
 
 type t
 
-val open_ : dir:string -> t
+val open_ : ?telemetry:Psn_telemetry.Telemetry.sink -> dir:string -> unit -> t
 (** Open (creating the directory if needed) the store at [dir]. Loads
     the manifest; if it is missing or corrupt, rebuilds the index by
     scanning the shard directories and verifying each frame, dropping
     undecodable entries. Raises [Sys_error] only if [dir] cannot be
-    created or read at all. *)
+    created or read at all.
+
+    [telemetry] (default null) records ["store.lookup"] /
+    ["store.insert"] / ["store.gc"] spans and counters for hits,
+    misses, inserts, corrupt-frame self-repairs, bytes read/written
+    and gc evictions. Recording happens on the calling domain's track
+    — consistent with the single-domain contract below — and never
+    changes what the store returns. *)
 
 val dir : t -> string
 
@@ -57,6 +64,10 @@ type stats = {
   bytes : int;  (** Sum of entry frame sizes (manifest excluded). *)
   hits : int64;  (** Lifetime, persisted in the manifest. *)
   misses : int64;
+  hit_rate : float option;
+      (** [hits / (hits + misses)], [None] before the first lookup.
+          Computed here once; the CLI's [store stats] output and the
+          profile report both reuse this field. *)
 }
 
 val stats : t -> stats

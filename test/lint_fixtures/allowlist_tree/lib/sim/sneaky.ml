@@ -1,0 +1,3 @@
+(* A wall-clock read anywhere else under lib/ must still fail, even
+   though the telemetry clock module is allowlisted. *)
+let t_start () = Unix.gettimeofday ()

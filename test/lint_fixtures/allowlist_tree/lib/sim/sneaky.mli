@@ -1,0 +1,1 @@
+val t_start : unit -> float

@@ -1,0 +1,3 @@
+(* Fixture mirror of the real lib/telemetry/clock.ml: lint.toml
+   allowlists wall-clock for exactly this path, so this read passes. *)
+let now_s () = Unix.gettimeofday ()

@@ -1,0 +1,1 @@
+val now_s : unit -> float

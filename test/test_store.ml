@@ -300,7 +300,7 @@ let some_key ?(algo = "direct") ?(seed = 1000L) () =
   Key.outcome ~trace_hash:(Key.trace_hash (sample_trace ())) ~workload ~algo ~seed ()
 
 let test_store_put_find () =
-  let st = Store.open_ ~dir:(fresh_dir ()) in
+  let st = Store.open_ ~dir:(fresh_dir ()) () in
   let key = some_key () in
   Alcotest.(check bool) "empty store misses" true (Option.is_none (Store.find_outcome st key));
   let outcome = sample_outcome () in
@@ -317,16 +317,16 @@ let test_store_reopen () =
   let dir = fresh_dir () in
   let key = some_key () in
   let outcome = sample_outcome () in
-  let st = Store.open_ ~dir in
+  let st = Store.open_ ~dir () in
   Store.put_outcome st key outcome;
   (* a second open reads the manifest back *)
-  let st2 = Store.open_ ~dir in
+  let st2 = Store.open_ ~dir () in
   (match Store.find_outcome st2 key with
   | None -> Alcotest.fail "entry lost across reopen"
   | Some got -> Alcotest.(check bool) "same outcome" true (outcome_equal outcome got));
   (* a lost manifest is rebuilt by scanning the shards *)
   Sys.remove (Filename.concat dir "manifest.psn");
-  let st3 = Store.open_ ~dir in
+  let st3 = Store.open_ ~dir () in
   Alcotest.(check bool) "rescan finds entry" true (Option.is_some (Store.find_outcome st3 key));
   Alcotest.(check int) "rescan entry count" 1 (Store.stats st3).Store.entries
 
@@ -353,7 +353,7 @@ let flip_byte path pos =
 
 let test_store_corruption_repair () =
   let dir = fresh_dir () in
-  let st = Store.open_ ~dir in
+  let st = Store.open_ ~dir () in
   let key = some_key () in
   let outcome = sample_outcome () in
   Store.put_outcome st key outcome;
@@ -376,7 +376,7 @@ let test_store_corruption_repair () =
     (List.length (Store.verify st).Store.fsck_errors)
 
 let test_store_gc_order () =
-  let st = Store.open_ ~dir:(fresh_dir ()) in
+  let st = Store.open_ ~dir:(fresh_dir ()) () in
   let k1 = some_key ~seed:1L () in
   let k2 = some_key ~seed:2L () in
   let k3 = some_key ~seed:3L () in
@@ -398,7 +398,7 @@ let test_store_gc_order () =
   Alcotest.(check int) "no entries left" 0 (Store.stats st).Store.entries
 
 let test_store_enumeration_roundtrip () =
-  let st = Store.open_ ~dir:(fresh_dir ()) in
+  let st = Store.open_ ~dir:(fresh_dir ()) () in
   let trace = sample_trace () in
   let snap = Core.Snapshot.of_trace trace in
   let config = { Core.Enumerate.default_config with Core.Enumerate.k = 50 } in
@@ -439,7 +439,7 @@ let test_runner_warm_bit_identical () =
       Core.Registry.all
   in
   let factories = List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries in
-  let st = Store.open_ ~dir in
+  let st = Store.open_ ~dir () in
   let caches =
     let trace_hash = Key.trace_hash trace in
     List.map
@@ -465,7 +465,7 @@ let test_runner_warm_bit_identical () =
 let test_runner_stores_arity () =
   let trace = sample_trace () in
   let spec = { Core.Runner.workload; seeds = [ 1000L ] } in
-  let st = Store.open_ ~dir:(fresh_dir ()) in
+  let st = Store.open_ ~dir:(fresh_dir ()) () in
   let cache =
     Core.Store_memo.runner_cache ~store:st ~trace_hash:(Key.trace_hash trace) ~workload
       ~algo:"direct" ()
