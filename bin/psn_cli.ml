@@ -71,6 +71,18 @@ let resolve_jobs = function
   | Some j when j >= 1 -> j
   | Some _ -> exit_err "--jobs must be at least 1"
 
+let chunk_arg =
+  let doc =
+    "Tasks claimed per scheduling grab in parallel sweeps. Defaults to a heuristic \
+     (~4 chunks per worker); results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+
+let resolve_chunk = function
+  | None -> None
+  | Some c when c >= 1 -> Some c
+  | Some _ -> exit_err "--chunk must be at least 1"
+
 let store_arg =
   let doc =
     "Memoize results in the content-addressed store at $(docv) (created if missing). \
@@ -254,7 +266,7 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k jobs store trace_out profile =
+  let run dataset seed messages k jobs chunk store trace_out profile =
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -271,8 +283,8 @@ let explosion_cmd =
       let store = resolve_store ~telemetry:ctx.sink store in
       let study =
         with_store_report store (fun store ->
-            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs) ?store ~scale
-              ~telemetry:ctx.sink d)
+            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs)
+              ?chunk:(resolve_chunk chunk) ?store ~scale ~telemetry:ctx.sink d)
       in
       print_endline
         (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
@@ -287,7 +299,7 @@ let explosion_cmd =
   in
   let term =
     Term.(
-      const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ store_arg
+      const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ chunk_arg $ store_arg
       $ trace_out_arg [ "trace" ] $ profile_flag)
   in
   Cmd.v
@@ -306,8 +318,9 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds jobs store trace_out profile =
+  let run dataset seed trace_path algorithms seeds jobs chunk store trace_out profile =
     let jobs = resolve_jobs jobs in
+    let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     let label, trace = resolve_trace dataset seed trace_path in
     let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile in
@@ -339,7 +352,7 @@ let simulate_cmd =
               store
           in
           or_die (fun () ->
-              Core.Runner.run_many ~jobs ?stores ~telemetry:ctx.sink ~trace ~spec
+              Core.Runner.run_many ~jobs ?chunk ?stores ~telemetry:ctx.sink ~trace ~spec
                 ~factories:
                   (List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
                 ()))
@@ -355,8 +368,8 @@ let simulate_cmd =
   in
   let term =
     Term.(
-      const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ store_arg
-      $ trace_out_arg [ "trace-out" ] $ profile_flag)
+      const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ chunk_arg
+      $ store_arg $ trace_out_arg [ "trace-out" ] $ profile_flag)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
@@ -409,8 +422,9 @@ let resilience_cmd =
           ~doc:"Messages whose path survival is enumerated per level.")
   in
   let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs
-      store trace_out profile =
+      chunk store trace_out profile =
     let jobs = resolve_jobs jobs in
+    let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     if probes < 1 then exit_err "--probes must be at least 1";
     let base =
@@ -448,8 +462,8 @@ let resilience_cmd =
       let study =
         with_store_report store (fun store ->
             or_die (fun () ->
-                Core.Experiments.resilience_study ~jobs ?store ~scale ~base ~intensities
-                  ~path_messages:probes ~telemetry:ctx.sink d))
+                Core.Experiments.resilience_study ~jobs ?chunk ?store ~scale ~base
+                  ~intensities ~path_messages:probes ~telemetry:ctx.sink d))
       in
       print_endline
         (Core.Report.render_resilience
@@ -462,8 +476,8 @@ let resilience_cmd =
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
-      $ fault_seed $ seeds $ probes $ jobs_arg $ store_arg $ trace_out_arg [ "trace" ]
-      $ profile_flag)
+      $ fault_seed $ seeds $ probes $ jobs_arg $ chunk_arg $ store_arg
+      $ trace_out_arg [ "trace" ] $ profile_flag)
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -495,8 +509,9 @@ let experiment_cmd =
       & info [ "dump" ] ~docv:"DIR"
           ~doc:"Also write the figure's data series as gnuplot-ready .dat files into $(docv).")
   in
-  let run figure dataset seed messages dump_dir jobs store =
+  let run figure dataset seed messages dump_dir jobs chunk store =
     let jobs = resolve_jobs jobs in
+    let chunk = resolve_chunk chunk in
     match Core.Dataset.find dataset with
     | Error msg -> exit_err msg
     | Ok d ->
@@ -527,8 +542,8 @@ let experiment_cmd =
       in
       let text =
         with_store_report (resolve_store store) (fun store ->
-        let study = lazy (E.enumeration_study ~jobs ?store ~scale d) in
-        let sim = lazy (E.sim_study ~jobs ?store ~scale d) in
+        let study = lazy (E.enumeration_study ~jobs ?chunk ?store ~scale d) in
+        let sim = lazy (E.sim_study ~jobs ?chunk ?store ~scale d) in
         match figure with
         | "fig1" -> R.render_timeseries ~title:"Fig 1: contacts over time" (E.fig1 [ d ])
         | "fig2" -> "== Fig 2: example space-time graph ==\n" ^ E.fig2 ()
@@ -570,7 +585,9 @@ let experiment_cmd =
       print_endline text
   in
   let term =
-    Term.(const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg $ store_arg)
+    Term.(
+      const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg $ chunk_arg
+      $ store_arg)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one figure of the paper on one dataset.") term
 
@@ -734,8 +751,9 @@ let profile_cmd =
   let seeds =
     Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"N" ~doc:"Simulation runs per algorithm.")
   in
-  let run dataset seed messages seeds jobs store trace_out =
+  let run dataset seed messages seeds jobs chunk store trace_out =
     let jobs = resolve_jobs jobs in
+    let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_err "--seeds must be at least 1";
     if messages < 1 then exit_err "--messages must be at least 1";
     match Core.Dataset.find dataset with
@@ -755,10 +773,11 @@ let profile_cmd =
         with_store_report store (fun store ->
             or_die (fun () ->
                 let study =
-                  Core.Experiments.enumeration_study ~jobs ?store ~scale ~telemetry:ctx.sink d
+                  Core.Experiments.enumeration_study ~jobs ?chunk ?store ~scale
+                    ~telemetry:ctx.sink d
                 in
                 let sim =
-                  Core.Experiments.sim_study ~jobs ?store ~scale ~telemetry:ctx.sink d
+                  Core.Experiments.sim_study ~jobs ?chunk ?store ~scale ~telemetry:ctx.sink d
                 in
                 (study, sim)))
       in
@@ -771,7 +790,7 @@ let profile_cmd =
   in
   let term =
     Term.(
-      const run $ dataset_arg $ seed_arg $ messages $ seeds $ jobs_arg $ store_arg
+      const run $ dataset_arg $ seed_arg $ messages $ seeds $ jobs_arg $ chunk_arg $ store_arg
       $ trace_out_arg [ "trace" ])
   in
   Cmd.v

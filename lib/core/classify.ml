@@ -35,6 +35,8 @@ let equal_pair_type a b =
   | In_in, In_in | In_out, In_out | Out_in, Out_in | Out_out, Out_out -> true
   | (In_in | In_out | Out_in | Out_out), _ -> false
 
+let pair_type_index = function In_in -> 0 | In_out -> 1 | Out_in -> 2 | Out_out -> 3
+let compare_pair_type a b = Int.compare (pair_type_index a) (pair_type_index b)
 let all_pair_types = [ In_in; In_out; Out_in; Out_out ]
 
 let pair_type_name = function

@@ -30,6 +30,11 @@ val n_in : t -> int
 
 val equal_pair_type : pair_type -> pair_type -> bool
 
+val compare_pair_type : pair_type -> pair_type -> int
+(** Total order in the paper's presentation order (in-in < in-out <
+    out-in < out-out) — the comparator for {!Psn_sim.Metrics.grouped}
+    and other explicit-comparator containers. *)
+
 val all_pair_types : pair_type list
 (** In the paper's order: in-in, in-out, out-in, out-out. *)
 

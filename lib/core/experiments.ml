@@ -69,7 +69,7 @@ let random_message rng trace =
    discipline: the store is touched only from the calling domain —
    finds before, puts after the parallel section over misses — so a
    warm store changes wall time, never results. *)
-let enumerate_specs ?jobs ?store ?(telemetry = T.Sink.null) ~trace ~config snap specs =
+let enumerate_specs ?jobs ?chunk ?store ?(telemetry = T.Sink.null) ~trace ~config snap specs =
   let compute sink (src, dst, t_create) =
     T.with_span sink "paths.enumerate"
       ~args:[ ("src", T.Int src); ("dst", T.Int dst) ]
@@ -77,7 +77,7 @@ let enumerate_specs ?jobs ?store ?(telemetry = T.Sink.null) ~trace ~config snap 
   in
   T.count telemetry "paths.enumerations" (Array.length specs);
   match store with
-  | None -> Parallel.map_traced ?jobs ~telemetry compute specs
+  | None -> Parallel.map_traced ?jobs ?chunk ~telemetry compute specs
   | Some st ->
     let trace_hash = Store_key.trace_hash trace in
     let key (src, dst, t_create) =
@@ -95,7 +95,7 @@ let enumerate_specs ?jobs ?store ?(telemetry = T.Sink.null) ~trace ~config snap 
     T.count telemetry "paths.cache_hits" (n - Array.length miss_idx);
     T.count telemetry "paths.cache_misses" (Array.length miss_idx);
     let computed =
-      Parallel.map_traced ?jobs ~telemetry (fun sink i -> compute sink specs.(i)) miss_idx
+      Parallel.map_traced ?jobs ?chunk ~telemetry (fun sink i -> compute sink specs.(i)) miss_idx
     in
     T.with_span telemetry "paths.cache_store" (fun () ->
         Array.iteri
@@ -106,7 +106,8 @@ let enumerate_specs ?jobs ?store ?(telemetry = T.Sink.null) ~trace ~config snap 
     Array.init n (fun i ->
         match cached.(i) with Some v -> v | None -> computed.(rank.(i)))
 
-let enumeration_study ?jobs ?store ?(scale = default_scale) ?(telemetry = T.Sink.null) dataset
+let enumeration_study ?jobs ?chunk ?store ?(scale = default_scale)
+    ?(telemetry = T.Sink.null) dataset
     =
   T.with_span telemetry "experiments.enumeration_study"
     ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
@@ -127,7 +128,7 @@ let enumeration_study ?jobs ?store ?(scale = default_scale) ?(telemetry = T.Sink
     specs.(i) <- random_message rng trace
   done;
   T.end_span telemetry;
-  let results = enumerate_specs ?jobs ?store ~telemetry ~trace ~config snap specs in
+  let results = enumerate_specs ?jobs ?chunk ?store ~telemetry ~trace ~config snap specs in
   T.with_span telemetry "experiments.collect"
   @@ fun () ->
   (* Post-processing is cheap and pure, so only the enumeration itself
@@ -278,7 +279,7 @@ let entry_caches store ~trace ?faults ~workload entries =
         ~algo:e.Registry.name ())
     entries
 
-let sim_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
+let sim_study ?jobs ?chunk ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
     ?(telemetry = T.Sink.null) dataset =
   T.with_span telemetry "experiments.sim_study"
     ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
@@ -293,7 +294,7 @@ let sim_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_s
   T.end_span telemetry;
   (* One parallel batch over the whole algorithm × seed grid. *)
   let outcomes =
-    Psn_sim.Runner.outcomes_many ?jobs ?stores ~telemetry ~trace ~spec
+    Psn_sim.Runner.outcomes_many ?jobs ?chunk ?stores ~telemetry ~trace ~spec
       ~factories:(List.map (fun (e : Registry.entry) -> e.Registry.factory) entries)
       ()
   in
@@ -328,7 +329,7 @@ let fig13 study =
       (fun (e, outcomes) ->
         let outcome = pooled_outcome e outcomes in
         let groups =
-          Metrics.grouped outcome ~classify:(fun (m : Message.t) ->
+          Metrics.grouped outcome ~cmp:Classify.compare_pair_type ~classify:(fun (m : Message.t) ->
               Classify.pair_type study.sim_classify ~src:m.Message.src ~dst:m.Message.dst)
         in
         (e, groups))
@@ -430,7 +431,8 @@ let default_fault_spec =
 
 let default_intensities = [ 0.; 0.5; 1.; 2. ]
 
-let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
+let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
+    ?(entries = Registry.paper_six)
     ?(base = default_fault_spec) ?(intensities = default_intensities) ?(path_messages = 40)
     ?(telemetry = T.Sink.null) dataset =
   T.with_span telemetry "experiments.resilience_study"
@@ -459,7 +461,7 @@ let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.
      memoized fan-out; degraded levels key on the degraded trace's own
      content hash, so levels never alias each other or the baseline. *)
   let enumerate_all tr =
-    enumerate_specs ?jobs ?store ~telemetry ~trace:tr ~config (Snapshot.of_trace tr) probes
+    enumerate_specs ?jobs ?chunk ?store ~telemetry ~trace:tr ~config (Snapshot.of_trace tr) probes
   in
   let baseline =
     T.with_span telemetry "experiments.baseline" (fun () -> enumerate_all trace)
@@ -479,7 +481,7 @@ let resilience_study ?jobs ?store ?(scale = default_scale) ?(entries = Registry.
             store
         in
         let metrics =
-          Psn_sim.Runner.run_many ?jobs ?stores ~telemetry ~faults:plan ~trace ~spec
+          Psn_sim.Runner.run_many ?jobs ?chunk ?stores ~telemetry ~faults:plan ~trace ~spec
             ~factories ()
         in
         let degraded = enumerate_all (Faults.degrade plan trace) in

@@ -50,6 +50,7 @@ type study = {
 
 val enumeration_study :
   ?jobs:int ->
+  ?chunk:int ->
   ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
@@ -58,9 +59,9 @@ val enumeration_study :
 (** Enumerate paths for [scale.n_messages] random messages over the
     dataset's trace. The expensive call — share the result across
     figure functions. The per-message enumerations are independent and
-    run on [jobs] domains (default {!Psn_sim.Parallel.default_jobs});
-    messages are drawn sequentially first, so results do not depend on
-    [jobs]. [store], when given, memoizes each per-message enumeration
+    run on [jobs] domains (default {!Psn_sim.Parallel.default_jobs}),
+    claimed in ranges of [chunk] tasks; messages are drawn sequentially
+    first, so results do not depend on [jobs] or [chunk]. [store], when given, memoizes each per-message enumeration
     (keyed on trace content, config and message spec) without changing
     any result. [telemetry] (default null) records phase spans
     ([setup] / per-pair ["paths.enumerate"] / [collect]) and
@@ -117,6 +118,7 @@ type sim_study = {
 
 val sim_study :
   ?jobs:int ->
+  ?chunk:int ->
   ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
@@ -126,7 +128,8 @@ val sim_study :
 (** Run each algorithm ([entries] defaults to the paper's six) over
     [scale.seeds] Poisson workloads (rate 1/4 s over the first two
     hours, as in §6.1). The algorithm × seed grid is one parallel batch
-    over [jobs] domains; output is independent of [jobs]. [store], when
+    over [jobs] domains, claimed in ranges of [chunk] tasks; output is
+    independent of [jobs] and [chunk]. [store], when
     given, memoizes each (algorithm, seed) outcome — a warm store
     replays the study bit-identically without running the engine.
     [telemetry] (default null) wraps the study in phase spans and
@@ -190,6 +193,7 @@ val default_fault_spec : Psn_sim.Faults.spec
 
 val resilience_study :
   ?jobs:int ->
+  ?chunk:int ->
   ?store:Psn_store.Store.t ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->

@@ -6,52 +6,205 @@ type record = { message : Message.t; delivered : float option; copies : int; att
 
 type outcome = { algorithm : string; records : record array; copies : int; attempts : int }
 
-type event =
-  | Contact_end of int * int
-  | Contact_start of int * int
-  | Create of Message.t
+(* The event schedule is stored as a structure of arrays — a flat
+   unboxed float array of times and a flat int array of packed event
+   codes — so building and draining it allocates nothing per event (no
+   tuple, no boxed float, no variant).
 
-(* Order events at equal times: ends, then starts, then creations — a
-   message created the instant a contact opens may use it. Ties within a
-   kind break on endpoint ids / message id so the in-place (unstable)
-   array sort below is fully deterministic. *)
-let event_rank = function Contact_end _ -> 0 | Contact_start _ -> 1 | Create _ -> 2
+   A code packs (rank, a, b) into one 63-bit int:
 
-let compare_events (t1, e1) (t2, e2) =
-  let c = Float.compare t1 t2 in
-  if c <> 0 then c
-  else
-    let c = Int.compare (event_rank e1) (event_rank e2) in
-    if c <> 0 then c
-    else
-      match (e1, e2) with
-      | Contact_end (a1, b1), Contact_end (a2, b2)
-      | Contact_start (a1, b1), Contact_start (a2, b2) ->
-        let c = Int.compare a1 a2 in
-        if c <> 0 then c else Int.compare b1 b2
-      | Create m1, Create m2 -> Int.compare m1.Message.id m2.Message.id
-      | (Contact_end _ | Contact_start _ | Create _), _ -> 0 (* distinct ranks: unreachable *)
+     rank (2 bits) | a (28 bits) | b (28 bits)
 
-(* The schedule is built into a flat array and sorted in place: no cons
-   cells, no merge-sort allocation — this is rebuilt once per run and
-   was a measurable share of short runs. *)
-let build_events trace messages n_msgs =
+   with rank 0 = contact end, 1 = contact start, 2 = message creation
+   (a unused, b = message id). Events at equal times order ends, then
+   starts, then creations — a message created the instant a contact
+   opens may use it — and ties within a kind break on endpoint ids /
+   message id, exactly the lexicographic order of the packed code, so
+   comparing (time, code) pairs reproduces the documented drain order
+   and the sort below is fully deterministic. *)
+let id_bits = 28
+
+let id_mask = (1 lsl id_bits) - 1
+
+let code_end a b = (a lsl id_bits) lor b
+
+let code_start a b = (1 lsl (2 * id_bits)) lor (a lsl id_bits) lor b
+
+let code_create id = (2 lsl (2 * id_bits)) lor id
+
+(* Reusable per-run buffers. A run needs O(n²) adjacency state and
+   O(n + messages) bookkeeping; allocating it anew for every seed
+   dominated short runs, so a [scratch] owns all of it and consecutive
+   runs (the per-domain task streams of [Runner]) reuse it. Reuse is
+   invisible by construction:
+
+   - the message-indexed arrays, the holder bitset and the held-list
+     lengths are reset on every acquisition;
+   - the node-indexed adjacency state ([s_adj], [s_peer_pos],
+     [s_n_peers]) is self-cleaning — every contact start the drain
+     replays is matched by its end, which restores the all-empty
+     state — and [s_clean] records whether the previous drain ran to
+     completion; an exception mid-drain leaves [s_clean = false] and
+     the next acquisition rebuilds the invariant explicitly;
+   - event times/codes beyond the current run's count are never read
+     (the sort and the drain touch exactly [0, n_events)).
+
+   A scratch must only ever be used by one domain at a time; [Runner]
+   creates one per worker through [Parallel.map_env]. *)
+type scratch = {
+  mutable s_nodes : int;  (* rows allocated in the node-indexed buffers *)
+  mutable s_adj : int array array;
+  mutable s_peers : int array array;
+  mutable s_n_peers : int array;
+  mutable s_peer_pos : int array array;
+  mutable s_held : int array array;
+  mutable s_held_len : int array;
+  mutable s_msgs : int;  (* capacity of the message-indexed buffers *)
+  mutable s_message_of : Message.t option array;
+  mutable s_stride : int;  (* holder-bitset bytes per message *)
+  mutable s_holders : Bytes.t;
+  mutable s_delivered : float array;  (* nan = not delivered *)
+  mutable s_copies_of : int array;
+  mutable s_attempts_of : int array;
+  mutable s_ev_cap : int;
+  mutable s_ev_time : float array;
+  mutable s_ev_code : int array;
+  mutable s_clean : bool;  (* adjacency state is all-empty *)
+}
+
+let scratch () =
+  {
+    s_nodes = 0;
+    s_adj = [||];
+    s_peers = [||];
+    s_n_peers = [||];
+    s_peer_pos = [||];
+    s_held = [||];
+    s_held_len = [||];
+    s_msgs = 0;
+    s_message_of = [||];
+    s_stride = 0;
+    s_holders = Bytes.empty;
+    s_delivered = [||];
+    s_copies_of = [||];
+    s_attempts_of = [||];
+    s_ev_cap = 0;
+    s_ev_time = [||];
+    s_ev_code = [||];
+    s_clean = true;
+  }
+
+let ensure_nodes s n =
+  if n > s.s_nodes then begin
+    s.s_adj <- Array.init n (fun _ -> Array.make n 0);
+    s.s_peer_pos <- Array.init n (fun _ -> Array.make n (-1));
+    s.s_peers <- Array.make n [||];
+    s.s_n_peers <- Array.make n 0;
+    s.s_held <- Array.make n [||];
+    s.s_held_len <- Array.make n 0;
+    s.s_nodes <- n;
+    s.s_clean <- true
+  end
+  else if not s.s_clean then begin
+    (* The previous run raised mid-drain: rebuild the all-empty
+       adjacency invariant a completed drain restores by itself. *)
+    for a = 0 to s.s_nodes - 1 do
+      Array.fill s.s_adj.(a) 0 (Array.length s.s_adj.(a)) 0;
+      Array.fill s.s_peer_pos.(a) 0 (Array.length s.s_peer_pos.(a)) (-1)
+    done;
+    Array.fill s.s_n_peers 0 s.s_nodes 0;
+    s.s_clean <- true
+  end;
+  (* Held lists never self-clean (copies persist to the end of a run),
+     so their lengths are reset on every acquisition. *)
+  Array.fill s.s_held_len 0 s.s_nodes 0
+
+let ensure_msgs s n_msgs ~stride =
+  if n_msgs > s.s_msgs then begin
+    s.s_message_of <- Array.make n_msgs None;
+    s.s_delivered <- Array.make n_msgs Float.nan;
+    s.s_copies_of <- Array.make n_msgs 0;
+    s.s_attempts_of <- Array.make n_msgs 0;
+    s.s_msgs <- n_msgs
+  end
+  else begin
+    Array.fill s.s_message_of 0 n_msgs None;
+    Array.fill s.s_delivered 0 n_msgs Float.nan;
+    Array.fill s.s_copies_of 0 n_msgs 0;
+    Array.fill s.s_attempts_of 0 n_msgs 0
+  end;
+  s.s_stride <- stride;
+  let bytes = n_msgs * stride in
+  if bytes > Bytes.length s.s_holders then s.s_holders <- Bytes.make bytes '\000'
+  else Bytes.fill s.s_holders 0 bytes '\000'
+
+let ensure_events s cap =
+  if cap > s.s_ev_cap then begin
+    let cap = Int.max cap (2 * s.s_ev_cap) in
+    s.s_ev_time <- Array.make cap 0.;
+    s.s_ev_code <- Array.make cap 0;
+    s.s_ev_cap <- cap
+  end
+
+(* In-place heapsort of the first [len] events, co-sorting the time
+   and code arrays on the (time, code) key. Heapsort allocates nothing
+   and its swap sequence is a pure function of the key sequence (equal
+   keys are indistinguishable), so the sorted order is deterministic
+   whatever buffer contents a previous run left past [len]. *)
+let sort_events time code len =
+  let less i j =
+    let c = Float.compare time.(i) time.(j) in
+    if c <> 0 then c < 0 else code.(i) < code.(j)
+  in
+  let swap i j =
+    let t = time.(i) in
+    time.(i) <- time.(j);
+    time.(j) <- t;
+    let k = code.(i) in
+    code.(i) <- code.(j);
+    code.(j) <- k
+  in
+  let rec sift_down root size =
+    let l = (2 * root) + 1 in
+    if l < size then begin
+      let largest = if less root l then l else root in
+      let r = l + 1 in
+      let largest = if r < size && less largest r then r else largest in
+      if largest <> root then begin
+        swap root largest;
+        sift_down largest size
+      end
+    end
+  in
+  for root = (len / 2) - 1 downto 0 do
+    sift_down root len
+  done;
+  for last = len - 1 downto 1 do
+    swap 0 last;
+    sift_down 0 last
+  done
+
+(* The schedule is written into the scratch buffers and sorted in
+   place: no cons cells, no per-event allocation — this is rebuilt
+   once per run and was a measurable share of short runs. *)
+let build_events s trace messages n_msgs =
   let n_events = (2 * Trace.n_contacts trace) + n_msgs in
-  let events = Array.make (Int.max n_events 1) (0., Contact_end (0, 0)) in
+  ensure_events s n_events;
+  let time = s.s_ev_time and code = s.s_ev_code in
   let idx = ref 0 in
-  let push t e =
-    events.(!idx) <- (t, e);
+  let push t c =
+    time.(!idx) <- t;
+    code.(!idx) <- c;
     incr idx
   in
   Trace.iter_contacts trace (fun (c : Contact.t) ->
-      push c.Contact.t_start (Contact_start (c.Contact.a, c.Contact.b));
-      push c.Contact.t_end (Contact_end (c.Contact.a, c.Contact.b)));
-  List.iter (fun (m : Message.t) -> push m.Message.t_create (Create m)) messages;
-  let events = if n_events = Array.length events then events else Array.sub events 0 n_events in
-  Array.sort compare_events events;
-  events
+      push c.Contact.t_start (code_start c.Contact.a c.Contact.b);
+      push c.Contact.t_end (code_end c.Contact.a c.Contact.b));
+  List.iter (fun (m : Message.t) -> push m.Message.t_create (code_create m.Message.id)) messages;
+  sort_events time code n_events;
+  n_events
 
-let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
+let run ?ttl ?faults ?scratch:reuse ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
   T.with_span telemetry "engine.run"
     ~args:[ ("algorithm", T.Str algorithm.Algorithm.name) ]
   @@ fun () ->
@@ -85,7 +238,12 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
      stays a pure function of (trace, faults) — order-independent. *)
   let trace = match faults with None -> trace | Some plan -> Faults.degrade plan trace in
   let n_msgs = List.length messages in
-  let message_of = Array.make n_msgs None in
+  if n > id_mask || n_msgs > id_mask then
+    invalid_arg "Engine.run: population or workload exceeds the 2^28 packed-event limit";
+  let s = match reuse with Some s -> s | None -> scratch () in
+  ensure_nodes s n;
+  ensure_msgs s n_msgs ~stride:((n + 7) / 8);
+  let message_of = s.s_message_of in
   List.iter
     (fun (m : Message.t) ->
       if m.Message.id < 0 || m.Message.id >= n_msgs then
@@ -97,10 +255,10 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
      tolerated) plus a dense peer set per node with positional
      swap-removal, so contact start/end and the cascade iteration are
      all O(1)/O(deg) instead of O(deg) list scans per event. *)
-  let adj = Array.init n (fun _ -> Array.make n 0) in
-  let peers = Array.init n (fun _ -> Array.make 0 0) in
-  let n_peers = Array.make n 0 in
-  let peer_pos = Array.init n (fun _ -> Array.make n (-1)) in
+  let adj = s.s_adj in
+  let peers = s.s_peers in
+  let n_peers = s.s_n_peers in
+  let peer_pos = s.s_peer_pos in
   let add_peer a b =
     if adj.(a).(b) = 0 then begin
       if n_peers.(a) = Array.length peers.(a) then begin
@@ -128,20 +286,21 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
       end
     end
   in
-  (* holders.(msg) = bitset of nodes with a copy. *)
-  let holders = Array.init n_msgs (fun _ -> Bytes.make ((n + 7) / 8) '\000') in
+  (* One flat bitset row of [stride] bytes per message: bit [node] of
+     row [msg] is set when the node holds a copy. *)
+  let holders = s.s_holders in
+  let stride = s.s_stride in
   let has_copy msg node =
-    Char.code (Bytes.get holders.(msg) (node lsr 3)) land (1 lsl (node land 7)) <> 0
+    Char.code (Bytes.get holders ((msg * stride) + (node lsr 3))) land (1 lsl (node land 7)) <> 0
   in
   let set_copy msg node =
-    let byte = node lsr 3 in
-    Bytes.set holders.(msg) byte
-      (Char.chr (Char.code (Bytes.get holders.(msg) byte) lor (1 lsl (node land 7))))
+    let byte = (msg * stride) + (node lsr 3) in
+    Bytes.set holders byte (Char.chr (Char.code (Bytes.get holders byte) lor (1 lsl (node land 7))))
   in
   (* Held messages per node: append-only dense index (copies are never
      dropped — infinite buffers). *)
-  let held = Array.make n [||] in
-  let held_len = Array.make n 0 in
+  let held = s.s_held in
+  let held_len = s.s_held_len in
   let push_held node id =
     if held_len.(node) = Array.length held.(node) then begin
       let bigger = Array.make (Int.max 4 (2 * held_len.(node))) 0 in
@@ -151,15 +310,18 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
     held.(node).(held_len.(node)) <- id;
     held_len.(node) <- held_len.(node) + 1
   in
-  let delivered = Array.make n_msgs None in
+  (* First-delivery time per message, nan while undelivered — a flat
+     float array, no option boxing on the hot path. *)
+  let delivered = s.s_delivered in
+  let is_delivered id = not (Float.is_nan delivered.(id)) in
   (* Transmissions per message (relay forwards and the final delivery
      transmission alike), plus the running total. [attempts] counts
      every transfer the run tried — under fault injection some attempts
      are lost and never become copies, and the gap is the overhead the
      resilience experiments measure. *)
-  let copies_of = Array.make n_msgs 0 in
+  let copies_of = s.s_copies_of in
   let copies = ref 0 in
-  let attempts_of = Array.make n_msgs 0 in
+  let attempts_of = s.s_attempts_of in
   let attempts = ref 0 in
   let transmit id =
     copies_of.(id) <- copies_of.(id) + 1;
@@ -178,15 +340,15 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
      competes for every active contact of its new holder. *)
   let rec receive (m : Message.t) node time =
     let id = m.Message.id in
-    if Option.is_none delivered.(id) && not (has_copy id node) then begin
+    if (not (is_delivered id)) && not (has_copy id node) then begin
       set_copy id node;
-      if node = m.Message.dst then delivered.(id) <- Some time
+      if node = m.Message.dst then delivered.(id) <- time
       else begin
         push_held node id;
         let ps = peers.(node) in
         let len = n_peers.(node) in
         let i = ref 0 in
-        while !i < len && Option.is_none delivered.(id) do
+        while !i < len && not (is_delivered id) do
           offer m ~holder:node ~peer:ps.(!i) time;
           incr i
         done
@@ -197,7 +359,7 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
      including the final hop to the destination — is one transmission. *)
   and offer (m : Message.t) ~holder ~peer time =
     let id = m.Message.id in
-    if Option.is_none delivered.(id) && not (expired m time) then
+    if (not (is_delivered id)) && not (expired m time) then
       if peer = m.Message.dst then begin
         attempt id;
         if not (lost m ~holder ~peer time) then begin
@@ -232,27 +394,42 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
       | Some m -> offer m ~holder:a ~peer:b time
     done
   in
-  let events = build_events trace messages n_msgs in
+  let n_events = build_events s trace messages n_msgs in
   T.end_span telemetry;
   T.count telemetry "engine.runs" 1;
-  T.count telemetry "engine.events" (Array.length events);
+  T.count telemetry "engine.events" n_events;
+  (* An algorithm callback may raise out of the drain, leaving the
+     adjacency state mid-flight; the flag makes the next acquisition
+     rebuild it instead of trusting the self-cleaning invariant. *)
+  s.s_clean <- false;
   T.with_span telemetry "engine.drain" (fun () ->
-      Array.iter
-        (fun (time, event) ->
-          match event with
-          | Contact_end (a, b) ->
-            remove_peer a b;
-            remove_peer b a
-          | Contact_start (a, b) ->
-            algorithm.Algorithm.observe_contact ~time ~a ~b;
-            add_peer a b;
-            add_peer b a;
-            exchange a b time;
-            exchange b a time
-          | Create m ->
+      let ev_time = s.s_ev_time and ev_code = s.s_ev_code in
+      for i = 0 to n_events - 1 do
+        let time = ev_time.(i) in
+        let c = ev_code.(i) in
+        let rank = c lsr (2 * id_bits) in
+        if rank = 0 then begin
+          let a = (c lsr id_bits) land id_mask and b = c land id_mask in
+          remove_peer a b;
+          remove_peer b a
+        end
+        else if rank = 1 then begin
+          let a = (c lsr id_bits) land id_mask and b = c land id_mask in
+          algorithm.Algorithm.observe_contact ~time ~a ~b;
+          add_peer a b;
+          add_peer b a;
+          exchange a b time;
+          exchange b a time
+        end
+        else begin
+          match message_of.(c land id_mask) with
+          | Some m ->
             algorithm.Algorithm.on_create m;
-            receive m m.Message.src time)
-        events);
+            receive m m.Message.src time
+          | None -> assert false (* ids validated dense above *)
+        end
+      done);
+  s.s_clean <- true;
   T.count telemetry "engine.transmissions" !copies;
   T.count telemetry "engine.attempts" !attempts;
   T.count telemetry "engine.transfers_lost" (!attempts - !copies);
@@ -260,11 +437,12 @@ let run ?ttl ?faults ?(telemetry = T.Sink.null) ~trace ~messages algorithm =
       let records =
         List.map
           (fun (m : Message.t) ->
+            let id = m.Message.id in
             {
               message = m;
-              delivered = delivered.(m.Message.id);
-              copies = copies_of.(m.Message.id);
-              attempts = attempts_of.(m.Message.id);
+              delivered = (if Float.is_nan delivered.(id) then None else Some delivered.(id));
+              copies = copies_of.(id);
+              attempts = attempts_of.(id);
             })
           messages
         |> Array.of_list

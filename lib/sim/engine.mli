@@ -38,9 +38,34 @@ type outcome = {
   attempts : int;  (** Total attempted transfers: sum of per-record [attempts]. *)
 }
 
+type scratch
+(** Reusable per-run working memory: the event schedule (structure of
+    arrays — unboxed times plus packed event codes), the O(n²)
+    adjacency buffers, the holder bitsets and the per-message
+    bookkeeping. Allocating this anew dominated short runs, so callers
+    that simulate many seeds in a row (notably {!Runner} through
+    [Parallel.map_env]) create one scratch per domain and pass it to
+    every {!run}.
+
+    Reuse is invisible: {!run} re-establishes every invariant it needs
+    on entry (message-indexed state is reset; adjacency state is
+    self-cleaning after a completed run and rebuilt explicitly after an
+    aborted one; schedule entries beyond the current run are never
+    read), so the outcome is bit-identical with a fresh, a reused, or
+    an omitted scratch — checked by the determinism tests. A scratch
+    holds no result state between calls and may be dropped at any time.
+
+    A scratch is single-domain mutable state: never share one between
+    concurrent runs. *)
+
+val scratch : unit -> scratch
+(** A fresh, empty scratch. Buffers grow on first use and are retained
+    at high-water-mark size across runs. *)
+
 val run :
   ?ttl:float ->
   ?faults:Faults.plan ->
+  ?scratch:scratch ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   messages:Message.t list ->
@@ -67,6 +92,10 @@ val run :
     [Parallel] fan-out. Endpoint/window validation happens against the
     pristine trace; the degraded trace keeps its population and
     horizon.
+
+    [scratch], when given, supplies the working buffers (see
+    {!type-scratch}); when omitted a private scratch is allocated for
+    this run. Results are identical either way.
 
     [telemetry] (default null, in which case instrumentation compiles
     to no-ops) records an ["engine.run"] span tagged with the algorithm

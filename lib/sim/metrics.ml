@@ -87,19 +87,25 @@ let equal a b =
   && float_identical a.median_delay b.median_delay
   && a.copies = b.copies && a.attempts = b.attempts
 
-let grouped (outcome : Engine.outcome) ~classify =
-  let order = ref [] in
-  let groups = Hashtbl.create 8 in
+(* Grouping is keyed through an explicit comparator, not a polymorphic
+   [Hashtbl]: hashing caller-supplied keys would mis-handle any key
+   that is not reflexively equal under generic equality — a NaN-bearing
+   key never equals itself, so every record carrying one silently
+   spawned its own duplicate group. [cmp] decides membership
+   ([cmp a b = 0]) and must be total on the classifier's range (e.g.
+   [Float.compare], which grounds NaN). Group counts are small (Fig. 13
+   has four), so a linear scan in first-seen order is plenty. *)
+let grouped (outcome : Engine.outcome) ~cmp ~classify =
+  let groups = ref [] in
   Array.iter
     (fun (r : Engine.record) ->
       let key = classify r.Engine.message in
-      if not (Hashtbl.mem groups key) then begin
-        Hashtbl.add groups key [];
-        order := key :: !order
-      end;
-      Hashtbl.replace groups key (r :: Hashtbl.find groups key))
+      match List.find_opt (fun (k, _) -> cmp k key = 0) !groups with
+      | Some (_, rs) -> rs := r :: !rs
+      | None -> groups := (key, ref [ r ]) :: !groups)
     outcome.Engine.records;
-  List.rev !order
-  |> List.map (fun key ->
-         let records = Array.of_list (List.rev (Hashtbl.find groups key)) in
-         (key, of_records outcome.Engine.algorithm records))
+  List.rev_map
+    (fun (key, rs) ->
+      let records = Array.of_list (List.rev !rs) in
+      (key, of_records outcome.Engine.algorithm records))
+    !groups

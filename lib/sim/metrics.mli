@@ -46,9 +46,15 @@ val pool : Engine.outcome list -> t
 
 val grouped :
   Engine.outcome ->
+  cmp:('key -> 'key -> int) ->
   classify:(Message.t -> 'key) ->
   ('key * t) list
 (** Per-group metrics, e.g. [classify] by source-destination pair type
-    for Fig. 13. Groups appear in first-seen order; each group's
-    [copies] is the sum of its records' per-message transmission
-    counts, so group copies sum to the outcome's total. *)
+    for Fig. 13. [cmp] decides group membership ([cmp a b = 0]) and
+    must be a total order on the classifier's range — pass e.g.
+    [Float.compare] for float-bearing keys, so a NaN key still lands
+    in one group instead of spawning a duplicate per record (which is
+    what a generic-equality keying would do). Groups appear in
+    first-seen order; each group's [copies] is the sum of its records'
+    per-message transmission counts, so group copies sum to the
+    outcome's total. *)

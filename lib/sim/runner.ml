@@ -8,29 +8,32 @@ let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
    algorithm instance, so runs are independent and safe to fan out
    across domains; results come back in seed order either way. The
    fault plan, when given, is shared read-only: its verdicts are pure
-   functions of (plan, key), so sharing cannot couple the runs. *)
-let run_seed ?faults ?(telemetry = T.Sink.null) ~trace ~spec ~factory seed =
-  let algorithm = T.with_span telemetry "runner.factory" (fun () -> factory trace) in
-  T.with_span telemetry "runner.task"
-    ~args:
-      [
-        ("algorithm", T.Str algorithm.Algorithm.name);
-        ("seed", T.Str (Int64.to_string seed));
-      ]
+   functions of (plan, key), so sharing cannot couple the runs. The
+   scratch is the worker's: reused across the consecutive tasks of one
+   domain, never shared between domains.
+
+   The factory span nests inside the task span so algorithm
+   construction is attributed to the task that paid for it in profile
+   totals; the algorithm name (known only after the factory returns)
+   is carried by the nested engine.run span. *)
+let run_seed ?faults ~scratch ?(telemetry = T.Sink.null) ~trace ~spec ~factory seed =
+  T.with_span telemetry "runner.task" ~args:[ ("seed", T.Str (Int64.to_string seed)) ]
   @@ fun () ->
   T.count telemetry "runner.tasks" 1;
+  let algorithm = T.with_span telemetry "runner.factory" (fun () -> factory trace) in
   let rng = Psn_prng.Rng.create ~seed () in
   let messages = Workload.generate ~rng spec.workload in
-  Engine.run ?faults ~telemetry ~trace ~messages algorithm
+  Engine.run ?faults ~scratch ~telemetry ~trace ~messages algorithm
 
 (* Memoized fan-out over an arbitrary task grid. The cache is only
    touched from the calling domain — all lookups happen before the
    parallel section and all stores after it — so cache backends need
    no synchronisation and results are stitched back by index, keeping
    the bit-identical [jobs] contract regardless of the hit pattern.
-   [compute] receives the sink of the domain that runs it, so task
-   spans land on the right trace track. *)
-let cached_map ?jobs ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
+   [compute] receives the scratch and the sink of the domain that runs
+   it, so buffers are reused across the domain's misses and task spans
+   land on the right trace track. *)
+let cached_map ?jobs ?chunk ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
   let n = Array.length tasks in
   let cached = T.with_span telemetry "runner.cache_lookup" (fun () -> Array.map find tasks) in
   let miss_idx =
@@ -42,7 +45,9 @@ let cached_map ?jobs ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
   T.count telemetry "runner.cache_hits" (n - Array.length miss_idx);
   T.count telemetry "runner.cache_misses" (Array.length miss_idx);
   let computed =
-    Parallel.map_traced ?jobs ~telemetry (fun sink i -> compute sink tasks.(i)) miss_idx
+    Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch
+      (fun scratch sink i -> compute scratch sink tasks.(i))
+      miss_idx
   in
   T.with_span telemetry "runner.cache_store" (fun () ->
       Array.iteri (fun j i -> store tasks.(i) computed.(j)) miss_idx);
@@ -53,24 +58,28 @@ let cached_map ?jobs ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
       | Some v -> v
       | None -> computed.(rank.(i)))
 
-let outcomes ?jobs ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
+let outcomes ?jobs ?chunk ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
-  let compute sink seed = run_seed ?faults ~telemetry:sink ~trace ~spec ~factory seed in
+  let compute scratch sink seed =
+    run_seed ?faults ~scratch ~telemetry:sink ~trace ~spec ~factory seed
+  in
   match store with
-  | None -> Array.to_list (Parallel.map_traced ?jobs ~telemetry compute seeds)
+  | None ->
+    Array.to_list (Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch compute seeds)
   | Some cache ->
-    cached_map ?jobs ~telemetry
+    cached_map ?jobs ?chunk ~telemetry
       ~find:(fun seed -> cache.Cache.find ~seed)
       ~store:(fun seed outcome -> cache.Cache.store ~seed outcome)
       ~compute seeds
     |> Array.to_list
 
-let run_algorithm ?jobs ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
-  let outs = outcomes ?jobs ?faults ?store ~telemetry ~trace ~spec ~factory () in
+let run_algorithm ?jobs ?chunk ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
+  let outs = outcomes ?jobs ?chunk ?faults ?store ~telemetry ~trace ~spec ~factory () in
   T.with_span telemetry "runner.metrics" (fun () -> Metrics.pool outs)
 
-let outcomes_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
+let outcomes_many ?jobs ?chunk ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories
+    () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
@@ -90,14 +99,14 @@ let outcomes_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec 
       (Array.length facs * n_seeds)
       (fun i -> (i / n_seeds, seeds.(i mod n_seeds)))
   in
-  let compute sink (fi, seed) =
-    run_seed ?faults ~telemetry:sink ~trace ~spec ~factory:facs.(fi) seed
+  let compute scratch sink (fi, seed) =
+    run_seed ?faults ~scratch ~telemetry:sink ~trace ~spec ~factory:facs.(fi) seed
   in
   let outs =
     match caches with
-    | None -> Parallel.map_traced ?jobs ~telemetry compute tasks
+    | None -> Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch compute tasks
     | Some caches ->
-      cached_map ?jobs ~telemetry
+      cached_map ?jobs ?chunk ~telemetry
         ~find:(fun (fi, seed) -> caches.(fi).Cache.find ~seed)
         ~store:(fun (fi, seed) outcome -> caches.(fi).Cache.store ~seed outcome)
         ~compute tasks
@@ -105,6 +114,6 @@ let outcomes_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec 
   List.init (Array.length facs) (fun fi ->
       List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
 
-let run_many ?jobs ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
-  let outs = outcomes_many ?jobs ?faults ?stores ~telemetry ~trace ~spec ~factories () in
+let run_many ?jobs ?chunk ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
+  let outs = outcomes_many ?jobs ?chunk ?faults ?stores ~telemetry ~trace ~spec ~factories () in
   T.with_span telemetry "runner.metrics" (fun () -> List.map Metrics.pool outs)

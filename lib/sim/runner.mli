@@ -4,12 +4,17 @@
     this module regenerates the workload (and optionally the trace) per
     seed and aggregates over the pooled records.
 
-    Every entry point takes [?jobs]: the seeds (and, for the [_many]
-    variants, the whole algorithm × seed grid) are fanned across that
-    many domains through {!Parallel}. Each run owns its RNG and
-    algorithm state and results are keyed by input index, so any [jobs]
-    value produces bit-identical output — [jobs] only changes wall
-    time. Defaults to {!Parallel.default_jobs}.
+    Every entry point takes [?jobs] and [?chunk]: the seeds (and, for
+    the [_many] variants, the whole algorithm × seed grid) are fanned
+    across that many domains through {!Parallel}, claimed in index
+    ranges of [chunk] tasks. Each run owns its RNG and algorithm state
+    and results are keyed by input index, so any [jobs] × [chunk]
+    combination produces bit-identical output — scheduling only
+    changes wall time. Defaults to {!Parallel.default_jobs} and
+    {!Parallel}'s chunk heuristic. Each worker domain also owns one
+    {!Engine.scratch}, reused across the consecutive runs it executes,
+    which cuts the per-seed O(n²) allocation without coupling the runs
+    (see {!Engine.type-scratch} for why reuse cannot leak state).
 
     Every entry point also takes [?faults]: a compiled {!Faults.plan}
     applied identically to every run of the batch. Fault verdicts are
@@ -26,9 +31,10 @@
     results, only wall time.
 
     Every entry point also takes [?telemetry] (default null): each run
-    records a ["runner.task"] span tagged with its algorithm name and
-    seed (on the track of the domain that executed it, via
-    {!Parallel.map_traced}), cached batches record hit/miss counters
+    records a ["runner.task"] span tagged with its seed (on the track
+    of the domain that executed it), nesting a ["runner.factory"] span
+    for algorithm construction and the ["engine.run"] span (which
+    carries the algorithm name), cached batches record hit/miss counters
     and lookup/store spans, and the pooled aggregation records a
     ["runner.metrics"] span. Instrumentation never affects outcomes —
     results are bit-identical whether the sink is null or active. *)
@@ -44,6 +50,7 @@ val default_seeds : int -> int64 list
 
 val run_algorithm :
   ?jobs:int ->
+  ?chunk:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
@@ -58,6 +65,7 @@ val run_algorithm :
 
 val run_many :
   ?jobs:int ->
+  ?chunk:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
@@ -73,6 +81,7 @@ val run_many :
 
 val outcomes :
   ?jobs:int ->
+  ?chunk:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
@@ -86,6 +95,7 @@ val outcomes :
 
 val outcomes_many :
   ?jobs:int ->
+  ?chunk:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->

@@ -21,8 +21,14 @@ let summary () =
         (fun () -> T.count s "engine.events" 42);
       let kids = T.fork s 2 in
       T.gauge kids.(0) "parallel.queue" 3.;
-      T.with_span kids.(0) "runner.task" (fun () -> T.count kids.(0) "runner.tasks" 1);
-      T.with_span kids.(1) "runner.task" (fun () -> T.count kids.(1) "runner.tasks" 1);
+      (* Mirrors Runner.run_seed: the factory span nests inside the
+         task span, so construction time lands in the task's totals. *)
+      T.with_span kids.(0) "runner.task" (fun () ->
+          T.count kids.(0) "runner.tasks" 1;
+          T.with_span kids.(0) "runner.factory" (fun () -> ()));
+      T.with_span kids.(1) "runner.task" (fun () ->
+          T.count kids.(1) "runner.tasks" 1;
+          T.with_span kids.(1) "runner.factory" (fun () -> ()));
       T.join s kids;
       T.count s "engine.events" 8);
   T.close c

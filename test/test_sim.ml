@@ -408,7 +408,9 @@ let test_metrics_pool_singleton_and_errors () =
 
 let test_metrics_grouped () =
   let outcome = fixture_outcome () in
-  let groups = Metrics.grouped outcome ~classify:(fun (m : Message.t) -> m.Message.src) in
+  let groups =
+    Metrics.grouped outcome ~cmp:Int.compare ~classify:(fun (m : Message.t) -> m.Message.src)
+  in
   Alcotest.(check int) "two groups" 2 (List.length groups);
   let src0 = List.assoc 0 groups in
   Alcotest.(check int) "src 0 msgs" 2 src0.Metrics.messages;
@@ -417,6 +419,23 @@ let test_metrics_grouped () =
   Alcotest.(check int) "src 0 copies" 2 src0.Metrics.copies;
   let total = List.fold_left (fun acc (_, g) -> acc + g.Metrics.copies) 0 groups in
   Alcotest.(check int) "group copies sum to outcome total" outcome.Engine.copies total
+
+(* Regression: grouping used a polymorphic Hashtbl, under which a
+   NaN-bearing key never equals itself — every record classified to
+   NaN silently spawned its own single-record group. The explicit
+   comparator ([Float.compare] grounds NaN) must coalesce them. *)
+let test_metrics_grouped_nan_key () =
+  let outcome = fixture_outcome () in
+  (* src 0 (two messages) classifies to NaN, everything else to 1. *)
+  let classify (m : Message.t) = if m.Message.src = 0 then Float.nan else 1. in
+  let groups = Metrics.grouped outcome ~cmp:Float.compare ~classify in
+  Alcotest.(check int) "NaN key forms one group, not one per record" 2 (List.length groups);
+  let nan_group =
+    List.find (fun (k, _) -> Float.is_nan k) groups |> fun (_, m) -> m.Metrics.messages
+  in
+  Alcotest.(check int) "both NaN-keyed records grouped together" 2 nan_group;
+  let total = List.fold_left (fun acc (_, g) -> acc + g.Metrics.messages) 0 groups in
+  Alcotest.(check int) "every record grouped exactly once" 3 total
 
 let test_copies_direct_delivery () =
   (* Two nodes, one contact, one message: the only transmission is the
@@ -553,7 +572,128 @@ let test_parallel_map () =
       ignore (Core.Parallel.map ~jobs:4 (fun i -> if i = 63 then invalid_arg "boom" else i) input));
   Alcotest.check_raises "jobs must be positive"
     (Invalid_argument "Parallel.map: jobs must be >= 1") (fun () ->
-      ignore (Core.Parallel.map ~jobs:0 sq input))
+      ignore (Core.Parallel.map ~jobs:0 sq input));
+  Alcotest.check_raises "chunk must be positive"
+    (Invalid_argument "Parallel.map: chunk must be >= 1") (fun () ->
+      ignore (Core.Parallel.map ~chunk:0 sq input))
+
+(* With several tasks failing, the chunked pool must re-raise the
+   exception of the lowest failing index whatever the claim schedule —
+   workers keep draining after a failure, so every failure is observed
+   and the choice is deterministic for any jobs × chunk. *)
+let test_parallel_chunked_exception_order () =
+  let input = Array.init 40 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          Alcotest.check_raises
+            (Printf.sprintf "lowest index wins (jobs=%d chunk=%d)" jobs chunk)
+            (Invalid_argument "boom 17")
+            (fun () ->
+              ignore
+                (Core.Parallel.map ~jobs ~chunk
+                   (fun i ->
+                     if i = 17 || i = 23 || i = 39 then invalid_arg (Printf.sprintf "boom %d" i)
+                     else i)
+                   input)))
+        [ 1; 3; 64 ])
+    [ 1; 2; 4; 7 ]
+
+(* Scratch reuse is invisible: the same scratch replayed across runs —
+   different seeds, a smaller population, even straight after an
+   aborted drain left it dirty — yields outcomes bit-identical to
+   fresh-scratch runs. *)
+let test_engine_scratch_reuse () =
+  let trace = runner_trace () in
+  let messages seed =
+    Workload.generate ~rng:(Rng.create ~seed ())
+      { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 }
+  in
+  let scratch = Engine.scratch () in
+  let seeds = [ 7L; 8L; 9L ] in
+  let fresh = List.map (fun s -> Engine.run ~trace ~messages:(messages s) epidemic) seeds in
+  let reused =
+    List.map (fun s -> Engine.run ~scratch ~trace ~messages:(messages s) epidemic) seeds
+  in
+  Alcotest.(check bool) "reused scratch identical" true (Stdlib.compare fresh reused = 0);
+  (* The same scratch over a smaller population: stale rows beyond the
+     new n must never be read. *)
+  let small =
+    Trace.create ~n_nodes:2 ~horizon:100. [ Contact.make ~a:0 ~b:1 ~t_start:30. ~t_end:40. ]
+  in
+  let with_scratch = Engine.run ~scratch ~trace:small ~messages:[ msg ~src:0 ~dst:1 10. ] never in
+  let without = Engine.run ~trace:small ~messages:[ msg ~src:0 ~dst:1 10. ] never in
+  Alcotest.(check bool) "smaller population identical" true
+    (Stdlib.compare with_scratch without = 0)
+
+let test_engine_scratch_dirty () =
+  let trace = runner_trace () in
+  let messages =
+    Workload.generate
+      ~rng:(Rng.create ~seed:5L ())
+      { Workload.rate = 0.05; t_start = 0.; t_end = 600.; n_nodes = 6 }
+  in
+  let scratch = Engine.scratch () in
+  (* An algorithm callback that raises mid-drain aborts the run with
+     the adjacency state mid-flight... *)
+  let seen = ref 0 in
+  let bomb =
+    {
+      Algorithm.name = "Bomb";
+      observe_contact =
+        (fun ~time:_ ~a:_ ~b:_ ->
+          incr seen;
+          if !seen = 5 then invalid_arg "mid-drain");
+      on_create = (fun _ -> ());
+      should_forward = (fun _ -> true);
+      on_forward = (fun _ -> ());
+    }
+  in
+  (match Engine.run ~scratch ~trace ~messages bomb with
+  | _ -> Alcotest.fail "bomb did not raise"
+  | exception Invalid_argument _ -> ());
+  (* ...and the next run on the same scratch must rebuild the invariant
+     instead of replaying ghost contacts. *)
+  let after = Engine.run ~scratch ~trace ~messages epidemic in
+  let fresh = Engine.run ~trace ~messages epidemic in
+  Alcotest.(check bool) "dirty scratch rebuilt" true (Stdlib.compare after fresh = 0)
+
+(* The issue's qcheck property: pooled metrics of a chunked parallel
+   run are bit-identical (Metrics.equal — IEEE payload equality) to
+   the jobs = 1 run, across jobs × chunk × task-count combinations
+   including empty, single-task, fewer-tasks-than-workers and
+   many-more-tasks-than-workers shapes. *)
+let qcheck_tests =
+  let open QCheck2 in
+  let trace = runner_trace () in
+  let gen =
+    Gen.triple
+      (Gen.oneofl [ 1; 2; 4; 7 ])
+      (Gen.oneofl [ 1; 3; 64 ])
+      (Gen.oneofl [ 0; 1; 2; 3; 25 ])
+  in
+  [
+    Test.make ~count:60 ~name:"chunked runs bit-identical to jobs=1"
+      ~print:(fun (jobs, chunk, n) -> Printf.sprintf "jobs=%d chunk=%d tasks=%d" jobs chunk n)
+      gen
+      (fun (jobs, chunk, n) ->
+        let tasks = Array.init n (fun i -> i * 3) in
+        let seq = Array.map (fun i -> (i * 7) mod 13) tasks in
+        let par = Core.Parallel.map ~jobs ~chunk (fun i -> (i * 7) mod 13) tasks in
+        let arrays_ok = Stdlib.compare par seq = 0 in
+        let metrics_ok =
+          n = 0
+          ||
+          let spec = runner_spec n in
+          let factory _ = epidemic in
+          let a = Runner.run_algorithm ~jobs:1 ~chunk:1 ~trace ~spec ~factory () in
+          let b = Runner.run_algorithm ~jobs ~chunk ~trace ~spec ~factory () in
+          Metrics.equal a b
+        in
+        arrays_ok && metrics_ok);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
 
 (* --- Faults --- *)
 
@@ -778,13 +918,19 @@ let () =
           Alcotest.test_case "pool singleton and errors" `Quick
             test_metrics_pool_singleton_and_errors;
           Alcotest.test_case "grouped" `Quick test_metrics_grouped;
+          Alcotest.test_case "grouped NaN key" `Quick test_metrics_grouped_nan_key;
         ] );
       ( "runner",
         [
           Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
           Alcotest.test_case "parallel deterministic" `Quick test_runner_parallel_deterministic;
           Alcotest.test_case "parallel map" `Quick test_parallel_map;
+          Alcotest.test_case "chunked exception order" `Quick
+            test_parallel_chunked_exception_order;
+          Alcotest.test_case "scratch reuse" `Quick test_engine_scratch_reuse;
+          Alcotest.test_case "dirty scratch rebuilt" `Quick test_engine_scratch_dirty;
         ] );
+      ("properties", qcheck_tests);
       ( "faults",
         [
           Alcotest.test_case "spec basics" `Quick test_faults_spec_basics;
