@@ -716,4 +716,91 @@ let () =
       ^ Printf.sprintf
           "\nfaulted run bit-identical across --jobs: %b\n(written to BENCH_resilience.json)"
           deterministic);
+  section options "robust" (fun () ->
+      (* Robustness must be free when off: price the disabled failpoint
+         trigger (no plan installed), a sweep under a plan naming only
+         an unrelated site (the trigger now scans the plan per hit),
+         and checkpoint rounds vs one big batch (extra manifest writes
+         per round). All variants must stay bit-identical. Results land
+         in BENCH_robust.json. *)
+      let trace = Core.Dataset.(generate infocom06_am) in
+      let n_seeds = Int.max 4 scale.E.seeds in
+      let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
+      let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds n_seeds } in
+      let entries = Core.Registry.paper_six in
+      let factories = List.map (fun e -> e.Core.Registry.factory) entries in
+      Core.Failpoint.uninstall ();
+      let reps = 10_000_000 in
+      let t0 = Core.Clock.now_s () in
+      for _ = 1 to reps do
+        Core.Failpoint.trigger "bench.disabled"
+      done;
+      let disabled_ns = (Core.Clock.now_s () -. t0) /. float_of_int reps *. 1e9 in
+      let time_sweep () =
+        let t0 = Core.Clock.now_s () in
+        let m = Core.Runner.run_many ~jobs:options.jobs ~trace ~spec ~factories () in
+        (Core.Clock.now_s () -. t0, m)
+      in
+      let wall_off, m_off = time_sweep () in
+      let wall_plan, m_plan =
+        match Core.Failpoint.parse "bench.unrelated=error" with
+        | Error e -> invalid_arg e
+        | Ok plan ->
+          Core.Failpoint.install plan;
+          Fun.protect ~finally:Core.Failpoint.uninstall time_sweep
+      in
+      let st = Core.Store.open_ ~dir:options.store_dir () in
+      let caches =
+        let trace_hash = Core.Store_key.trace_hash trace in
+        List.map
+          (fun (e : Core.Registry.entry) ->
+            Core.Store_memo.runner_cache ~store:st ~trace_hash ~workload
+              ~algo:e.Core.Registry.name ())
+          entries
+      in
+      let time_ckpt checkpoint =
+        ignore (Core.Store.gc st ~max_bytes:0);
+        let t0 = Core.Clock.now_s () in
+        let m =
+          Core.Runner.run_many ~jobs:options.jobs ~stores:caches ~checkpoint ~trace ~spec
+            ~factories ()
+        in
+        (Core.Clock.now_s () -. t0, m)
+      in
+      let wall_c0, m_c0 = time_ckpt 0 in
+      let wall_c1, m_c1 = time_ckpt 1 in
+      let wall_c8, m_c8 = time_ckpt 8 in
+      let identical =
+        List.for_all2 Core.Metrics.equal m_off m_plan
+        && List.for_all2 Core.Metrics.equal m_off m_c0
+        && List.for_all2 Core.Metrics.equal m_off m_c1
+        && List.for_all2 Core.Metrics.equal m_off m_c8
+      in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"benchmark\": \"robust\",\n\
+          \  \"dataset\": \"infocom06_am\",\n\
+          \  \"seeds\": %d,\n\
+          \  \"jobs\": %d,\n\
+          \  \"disabled_trigger_ns\": %.2f,\n\
+          \  \"sweep_wall_s_no_plan\": %.3f,\n\
+          \  \"sweep_wall_s_unrelated_plan\": %.3f,\n\
+          \  \"checkpoint_wall_s\": { \"off\": %.3f, \"every_task\": %.3f, \"every_8\": %.3f },\n\
+          \  \"metrics_identical\": %b\n\
+           }\n"
+          n_seeds options.jobs disabled_ns wall_off wall_plan wall_c0 wall_c1 wall_c8 identical
+      in
+      let oc = open_out "BENCH_robust.json" in
+      output_string oc json;
+      close_out oc;
+      Printf.sprintf
+        "== Robustness overhead: failpoints and checkpoint rounds (Infocom am) ==\n\
+         disabled trigger (no plan installed): %.2f ns/site\n\
+         sweep %d algorithms x %d seeds: no plan %.3f s, unrelated plan installed %.3f s\n\
+         checkpointed sweep: off %.3f s, --checkpoint 1 %.3f s, --checkpoint 8 %.3f s\n\
+         all variants bit-identical: %b\n\
+         (written to BENCH_robust.json)"
+        disabled_ns (List.length entries) n_seeds wall_off wall_plan wall_c0 wall_c1 wall_c8
+        identical);
   if options.micro && wanted options "micro" then micro_benchmarks ()

@@ -6,9 +6,25 @@
 
 open Cmdliner
 
+(* Exit codes (documented in the README): 0 success, 1 runtime
+   failure, 2 usage error (bad flag or flag value, also cmdliner's
+   own parse errors), 3 store corruption found by `store verify`,
+   128+n terminated by signal n (130 SIGINT, 143 SIGTERM), 170 an
+   injected --failpoints crash. *)
+let exit_runtime = 1
+let exit_usage_code = 2
+let exit_corrupt = 3
+
 let exit_err msg =
   Printf.eprintf "psn: %s\n" msg;
-  exit 1
+  exit exit_runtime
+
+(* Bad flag values are usage errors, same class as cmdliner's parse
+   errors — distinct from runtime failures so scripts can tell a typo
+   from a broken run. *)
+let exit_usage msg =
+  Printf.eprintf "psn: %s\n" msg;
+  exit exit_usage_code
 
 (* Library validation errors (Invalid_argument) and I/O failures
    (Sys_error) triggered by user-supplied values must reach the user as
@@ -18,6 +34,7 @@ let or_die f =
   | v -> v
   | exception Invalid_argument msg -> exit_err msg
   | exception Sys_error msg -> exit_err msg
+  | exception (Core.Failpoint.Injected _ as ex) -> exit_err (Core.Failpoint.describe ex)
 
 (* --- shared arguments --- *)
 
@@ -69,7 +86,7 @@ let jobs_arg =
 let resolve_jobs = function
   | None -> Core.Parallel.default_jobs ()
   | Some j when j >= 1 -> j
-  | Some _ -> exit_err "--jobs must be at least 1"
+  | Some _ -> exit_usage "--jobs must be at least 1"
 
 let chunk_arg =
   let doc =
@@ -81,7 +98,7 @@ let chunk_arg =
 let resolve_chunk = function
   | None -> None
   | Some c when c >= 1 -> Some c
-  | Some _ -> exit_err "--chunk must be at least 1"
+  | Some _ -> exit_usage "--chunk must be at least 1"
 
 let store_arg =
   let doc =
@@ -109,6 +126,75 @@ let with_store_report store f =
       (Int64.sub after.Core.Store.misses before.Core.Store.misses)
       after.Core.Store.entries after.Core.Store.bytes;
     r
+
+(* --- robustness: failpoints, retries, checkpoint/resume --- *)
+
+let failpoints_arg =
+  let doc =
+    "Deterministic fault injection: comma-separated $(i,site=action) rules where action is \
+     one of off, error, flaky or crash, optionally qualified with @N (Nth hit), *N (while \
+     the retry attempt is below N) or %P (probability per hit, hashed from the seed). An \
+     injected crash exits with code 170 and no cleanup; see DESIGN.md for the site list."
+  in
+  Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
+
+let failpoint_seed_arg =
+  let doc = "Seed of probabilistic ($(i,%P)) failpoint verdicts." in
+  Arg.(value & opt int64 0L & info [ "failpoint-seed" ] ~docv:"SEED" ~doc)
+
+let install_failpoints spec fp_seed =
+  match spec with
+  | None -> ()
+  | Some s -> (
+    match Core.Failpoint.parse ~seed:fp_seed s with
+    | Ok plan -> Core.Failpoint.install plan
+    | Error msg -> exit_usage msg)
+
+let retries_arg =
+  let doc =
+    "Retry a task that failed with a transient error up to $(docv) more times \
+     (deterministic backoff). Permanent failures are reported, never retried."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let resolve_retries r = if r >= 0 then r else exit_usage "--retries must be non-negative"
+
+let checkpoint_arg =
+  let doc =
+    "Persist completed results to the --store every $(docv) tasks, so a killed sweep \
+     loses at most one round of work. 0 disables checkpointing; the default is 32 \
+     whenever --store is given."
+  in
+  Arg.(value & opt (some int) None & info [ "checkpoint" ] ~docv:"N" ~doc)
+
+let resolve_checkpoint ~store = function
+  | Some c when c >= 0 -> c
+  | Some _ -> exit_usage "--checkpoint must be non-negative"
+  | None -> if Option.is_some store then 32 else 0
+
+let resume_flag =
+  let doc =
+    "Resume an interrupted sweep: cells already checkpointed in the --store replay \
+     bit-identically, only the missing ones are recomputed. Requires --store; the \
+     combined output equals an uninterrupted run's."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let check_resume ~store resume =
+  if resume && Option.is_none store then
+    exit_usage "--resume requires --store DIR (checkpoints live in the store)"
+
+(* Sweep subcommands: catch the cooperative-interrupt exception raised
+   at checkpoint boundaries, flush telemetry (so --trace/--profile
+   still produce output) and exit with the conventional 128+signal. *)
+let run_sweep ~finish f =
+  Core.Interrupt.install ();
+  match f () with
+  | () -> ()
+  | exception Core.Interrupt.Interrupted n ->
+    Printf.eprintf "psn: interrupted by signal %d; completed work is checkpointed\n%!" n;
+    finish ();
+    exit (Core.Interrupt.exit_code n)
 
 (* --- telemetry --- *)
 
@@ -266,9 +352,13 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k jobs chunk store trace_out profile =
+  let run dataset seed messages k jobs chunk store trace_out profile failpoints fp_seed retries
+      checkpoint resume =
+    let retries = resolve_retries retries in
+    check_resume ~store resume;
+    let checkpoint = resolve_checkpoint ~store checkpoint in
     match Core.Dataset.find dataset with
-    | Error msg -> exit_err msg
+    | Error msg -> exit_usage msg
     | Ok d ->
       let scale =
         {
@@ -279,28 +369,34 @@ let explosion_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      install_failpoints failpoints fp_seed;
       let ctx = telemetry_ctx ~command:"explosion" ~trace_out ~profile in
       let store = resolve_store ~telemetry:ctx.sink store in
-      let study =
-        with_store_report store (fun store ->
-            Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs)
-              ?chunk:(resolve_chunk chunk) ?store ~scale ~telemetry:ctx.sink d)
-      in
-      print_endline
-        (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
-           (Core.Experiments.fig4a [ study ]));
-      print_endline
-        (Core.Report.render_cdfs ~title:"CDF of time to explosion (s)"
-           (Core.Experiments.fig4b [ study ]));
-      print_endline
-        (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
-           (Core.Experiments.fig8 study));
-      ctx.finish ~store
+      run_sweep
+        ~finish:(fun () -> ctx.finish ~store)
+        (fun () ->
+          let study =
+            with_store_report store (fun store ->
+                Core.Experiments.enumeration_study ~jobs:(resolve_jobs jobs)
+                  ?chunk:(resolve_chunk chunk) ?store ~retries ~checkpoint ~scale
+                  ~telemetry:ctx.sink d)
+          in
+          print_endline
+            (Core.Report.render_cdfs ~title:"CDF of optimal path duration (s)"
+               (Core.Experiments.fig4a [ study ]));
+          print_endline
+            (Core.Report.render_cdfs ~title:"CDF of time to explosion (s)"
+               (Core.Experiments.fig4b [ study ]));
+          print_endline
+            (Core.Report.render_scatter_by_pair ~title:"T1 vs TE by pair type"
+               (Core.Experiments.fig8 study));
+          ctx.finish ~store)
   in
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ] $ profile_flag)
+      $ trace_out_arg [ "trace" ] $ profile_flag $ failpoints_arg $ failpoint_seed_arg
+      $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
@@ -318,12 +414,14 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds jobs chunk store trace_out profile =
+  let run dataset seed trace_path algorithms seeds jobs chunk store trace_out profile failpoints
+      fp_seed retries checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
-    if seeds < 1 then exit_err "--seeds must be at least 1";
-    let label, trace = resolve_trace dataset seed trace_path in
-    let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile in
+    if seeds < 1 then exit_usage "--seeds must be at least 1";
+    let retries = resolve_retries retries in
+    check_resume ~store resume;
+    let checkpoint = resolve_checkpoint ~store checkpoint in
     let entries =
       match algorithms with
       | None -> Core.Registry.paper_six
@@ -332,44 +430,78 @@ let simulate_cmd =
         |> List.map (fun name ->
                match Core.Registry.find (String.trim name) with
                | Ok e -> e
-               | Error msg -> exit_err msg)
+               | Error msg -> exit_usage msg)
     in
+    let label, trace = resolve_trace dataset seed trace_path in
+    install_failpoints failpoints fp_seed;
+    let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile in
     let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
     let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds seeds } in
     (* One batch over the whole algorithm × seed grid. *)
     let store = resolve_store ~telemetry:ctx.sink store in
-    let metrics =
-      with_store_report store (fun store ->
-          let stores =
-            Option.map
-              (fun st ->
-                let trace_hash = Core.Store_key.trace_hash trace in
-                List.map
-                  (fun (e : Core.Registry.entry) ->
-                    Core.Store_memo.runner_cache ~store:st ~trace_hash ~workload
-                      ~algo:e.Core.Registry.name ())
-                  entries)
-              store
-          in
-          or_die (fun () ->
-              Core.Runner.run_many ~jobs ?chunk ?stores ~telemetry:ctx.sink ~trace ~spec
-                ~factories:
-                  (List.map (fun (e : Core.Registry.entry) -> e.Core.Registry.factory) entries)
-                ()))
-    in
-    let rows =
-      List.map2 (fun (e : Core.Registry.entry) m -> (e.Core.Registry.label, m)) entries metrics
-    in
-    print_endline
-      (Core.Report.render_metrics
-         ~title:(Printf.sprintf "Forwarding performance (%s, %d seeds)" label seeds)
-         rows);
-    ctx.finish ~store
+    run_sweep
+      ~finish:(fun () -> ctx.finish ~store)
+      (fun () ->
+        let cells =
+          with_store_report store (fun store ->
+              let stores =
+                Option.map
+                  (fun st ->
+                    let trace_hash = Core.Store_key.trace_hash trace in
+                    List.map
+                      (fun (e : Core.Registry.entry) ->
+                        Core.Store_memo.runner_cache ~store:st ~trace_hash ~workload
+                          ~algo:e.Core.Registry.name ())
+                      entries)
+                  store
+              in
+              or_die (fun () ->
+                  Core.Runner.outcomes_many_result ~jobs ?chunk ?stores ~retries
+                    ~checkpoint ~telemetry:ctx.sink ~trace ~spec
+                    ~factories:
+                      (List.map
+                         (fun (e : Core.Registry.entry) -> e.Core.Registry.factory)
+                         entries)
+                    ()))
+        in
+        (* A failed (algorithm, seed) cell costs one FAILED line, never
+           the table; an algorithm whose every seed failed has nothing
+           to pool and is honestly absent from it. *)
+        let rows =
+          List.concat
+            (List.map2
+               (fun (e : Core.Registry.entry) cell_list ->
+                 match List.filter_map Result.to_option cell_list with
+                 | [] -> []
+                 | outs -> [ (e.Core.Registry.label, Core.Metrics.pool outs) ])
+               entries cells)
+        in
+        let failed =
+          List.concat
+            (List.map2
+               (fun (e : Core.Registry.entry) cell_list ->
+                 List.concat
+                   (List.map2
+                      (fun seed cell ->
+                        match cell with
+                        | Ok (_ : Core.Engine.outcome) -> []
+                        | Error ex ->
+                          [ (e.Core.Registry.label, seed, Core.Failpoint.describe ex) ])
+                      spec.Core.Runner.seeds cell_list))
+               entries cells)
+        in
+        print_endline
+          (Core.Report.render_metrics
+             ~title:(Printf.sprintf "Forwarding performance (%s, %d seeds)" label seeds)
+             rows
+          ^ Core.Report.render_failed_cells ~title:"Failed simulation cells" failed);
+        ctx.finish ~store)
   in
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ chunk_arg
-      $ store_arg $ trace_out_arg [ "trace-out" ] $ profile_flag)
+      $ store_arg $ trace_out_arg [ "trace-out" ] $ profile_flag $ failpoints_arg
+      $ failpoint_seed_arg $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run forwarding algorithms over a trace and report S and D.")
@@ -422,11 +554,14 @@ let resilience_cmd =
           ~doc:"Messages whose path survival is enumerated per level.")
   in
   let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs
-      chunk store trace_out profile =
+      chunk store trace_out profile failpoints fp_seed retries checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
-    if seeds < 1 then exit_err "--seeds must be at least 1";
-    if probes < 1 then exit_err "--probes must be at least 1";
+    if seeds < 1 then exit_usage "--seeds must be at least 1";
+    if probes < 1 then exit_usage "--probes must be at least 1";
+    let retries = resolve_retries retries in
+    check_resume ~store resume;
+    let checkpoint = resolve_checkpoint ~store checkpoint in
     let base =
       {
         Core.Faults.loss;
@@ -437,18 +572,18 @@ let resilience_cmd =
       }
     in
     (match Core.Faults.validate base with
-    | Error msg -> exit_err msg
+    | Error msg -> exit_usage msg
     | Ok () -> ());
     let intensities =
       String.split_on_char ',' intensities
       |> List.map (fun s ->
              match float_of_string_opt (String.trim s) with
              | Some x when Float.is_finite x && x >= 0. -> x
-             | Some _ | None -> exit_err (Printf.sprintf "bad intensity %S" (String.trim s)))
+             | Some _ | None -> exit_usage (Printf.sprintf "bad intensity %S" (String.trim s)))
     in
-    if List.is_empty intensities then exit_err "--intensities must name at least one level";
+    if List.is_empty intensities then exit_usage "--intensities must name at least one level";
     match Core.Dataset.find dataset with
-    | Error msg -> exit_err msg
+    | Error msg -> exit_usage msg
     | Ok d ->
       let scale =
         {
@@ -457,27 +592,33 @@ let resilience_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      install_failpoints failpoints fp_seed;
       let ctx = telemetry_ctx ~command:"resilience" ~trace_out ~profile in
       let store = resolve_store ~telemetry:ctx.sink store in
-      let study =
-        with_store_report store (fun store ->
-            or_die (fun () ->
-                Core.Experiments.resilience_study ~jobs ?chunk ?store ~scale ~base
-                  ~intensities ~path_messages:probes ~telemetry:ctx.sink d))
-      in
-      print_endline
-        (Core.Report.render_resilience
-           ~title:
-             (Printf.sprintf "Resilience: the paper's six algorithms under injected faults (%s)"
-                d.Core.Dataset.label)
-           study);
-      ctx.finish ~store
+      run_sweep
+        ~finish:(fun () -> ctx.finish ~store)
+        (fun () ->
+          let study =
+            with_store_report store (fun store ->
+                or_die (fun () ->
+                    Core.Experiments.resilience_study ~jobs ?chunk ?store ~retries ~checkpoint
+                      ~scale ~base ~intensities ~path_messages:probes ~telemetry:ctx.sink d))
+          in
+          print_endline
+            (Core.Report.render_resilience
+               ~title:
+                 (Printf.sprintf
+                    "Resilience: the paper's six algorithms under injected faults (%s)"
+                    d.Core.Dataset.label)
+               study);
+          ctx.finish ~store)
   in
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
       $ fault_seed $ seeds $ probes $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ] $ profile_flag)
+      $ trace_out_arg [ "trace" ] $ profile_flag $ failpoints_arg $ failpoint_seed_arg
+      $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -509,11 +650,15 @@ let experiment_cmd =
       & info [ "dump" ] ~docv:"DIR"
           ~doc:"Also write the figure's data series as gnuplot-ready .dat files into $(docv).")
   in
-  let run figure dataset seed messages dump_dir jobs chunk store =
+  let run figure dataset seed messages dump_dir jobs chunk store failpoints fp_seed retries
+      checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
+    let retries = resolve_retries retries in
+    check_resume ~store resume;
+    let checkpoint = resolve_checkpoint ~store checkpoint in
     match Core.Dataset.find dataset with
-    | Error msg -> exit_err msg
+    | Error msg -> exit_usage msg
     | Ok d ->
       let module E = Core.Experiments in
       let module R = Core.Report in
@@ -540,10 +685,14 @@ let experiment_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      install_failpoints failpoints fp_seed;
+      run_sweep ~finish:(fun () -> ()) (fun () ->
       let text =
         with_store_report (resolve_store store) (fun store ->
-        let study = lazy (E.enumeration_study ~jobs ?chunk ?store ~scale d) in
-        let sim = lazy (E.sim_study ~jobs ?chunk ?store ~scale d) in
+        let study =
+          lazy (E.enumeration_study ~jobs ?chunk ?store ~retries ~checkpoint ~scale d)
+        in
+        let sim = lazy (E.sim_study ~jobs ?chunk ?store ~retries ~checkpoint ~scale d) in
         match figure with
         | "fig1" -> R.render_timeseries ~title:"Fig 1: contacts over time" (E.fig1 [ d ])
         | "fig2" -> "== Fig 2: example space-time graph ==\n" ^ E.fig2 ()
@@ -565,7 +714,11 @@ let experiment_cmd =
           R.render_cdfs ~title:"Fig 7: per-node contact counts" cdfs
         | "fig8" ->
           R.render_scatter_by_pair ~title:"Fig 8: T1 vs TE by pair type" (E.fig8 (Lazy.force study))
-        | "fig9" -> R.render_metrics ~title:"Fig 9: delay vs success" (E.fig9 (Lazy.force sim))
+        | "fig9" ->
+          let sim = Lazy.force sim in
+          R.render_metrics ~title:"Fig 9: delay vs success" (E.fig9 sim)
+          ^ R.render_failed_cells ~title:"Failed simulation cells"
+              sim.E.sim_failed
         | "fig10" ->
           let cdfs = E.fig10 (Lazy.force sim) in
           dump_cdfs "fig10" cdfs;
@@ -576,18 +729,20 @@ let experiment_cmd =
           R.render_fig12 ~title:"Fig 12: algorithm paths within bursts"
             (E.fig12 (Lazy.force study) ~n_examples:2)
         | "fig13" ->
-          R.render_metrics_by_pair ~title:"Fig 13: performance by pair type"
-            (E.fig13 (Lazy.force sim))
+          let sim = Lazy.force sim in
+          R.render_metrics_by_pair ~title:"Fig 13: performance by pair type" (E.fig13 sim)
+          ^ R.render_failed_cells ~title:"Failed simulation cells" sim.E.sim_failed
         | "fig14" -> R.render_hop_rates ~title:"Fig 14: hop rates" (E.fig14 (Lazy.force study))
         | "fig15" -> R.render_hop_ratios ~title:"Fig 15: hop rate ratios" (E.fig15 (Lazy.force study))
-        | other -> exit_err (Printf.sprintf "unknown experiment %S" other))
+        | other -> exit_usage (Printf.sprintf "unknown experiment %S" other))
       in
-      print_endline text
+      print_endline text)
   in
   let term =
     Term.(
       const run $ figure $ dataset_arg $ seed_arg $ messages $ dump $ jobs_arg $ chunk_arg
-      $ store_arg)
+      $ store_arg $ failpoints_arg $ failpoint_seed_arg $ retries_arg $ checkpoint_arg
+      $ resume_flag)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one figure of the paper on one dataset.") term
 
@@ -701,7 +856,9 @@ let store_cmd =
             "For gc: keep at most this many bytes of entry data (default 0, which \
              empties the store).")
   in
-  let run action dir max_bytes =
+  let run action dir max_bytes failpoints fp_seed =
+    if max_bytes < 0 then exit_usage "--max-bytes must be non-negative";
+    install_failpoints failpoints fp_seed;
     let st = or_die (fun () -> Core.Store.open_ ~dir ()) in
     match action with
     | `Stats ->
@@ -712,9 +869,10 @@ let store_cmd =
         s.Core.Store.misses;
       (match s.Core.Store.hit_rate with
       | Some rate -> Format.printf "hit rate: %.1f%%@." (100. *. rate)
-      | None -> Format.printf "hit rate: n/a (no lookups yet)@.")
+      | None -> Format.printf "hit rate: n/a (no lookups yet)@.");
+      Format.printf "recovery at open: %d orphaned tmp file(s) swept, %d journal intent(s) replayed@."
+        s.Core.Store.tmp_swept s.Core.Store.journal_replays
     | `Gc ->
-      if max_bytes < 0 then exit_err "--max-bytes must be non-negative";
       let r = Core.Store.gc st ~max_bytes in
       Format.printf "evicted %d entries (%d bytes); kept %d (%d bytes)@."
         r.Core.Store.evicted r.Core.Store.freed_bytes r.Core.Store.kept
@@ -729,9 +887,9 @@ let store_cmd =
       Format.printf "verify: %d frame(s) checked, %d ok, %d error(s)@." r.Core.Store.checked
         r.Core.Store.ok
         (List.length r.Core.Store.fsck_errors);
-      if not (List.is_empty r.Core.Store.fsck_errors) then exit 1
+      if not (List.is_empty r.Core.Store.fsck_errors) then exit exit_corrupt
   in
-  let term = Term.(const run $ action $ dir $ max_bytes) in
+  let term = Term.(const run $ action $ dir $ max_bytes $ failpoints_arg $ failpoint_seed_arg) in
   Cmd.v
     (Cmd.info "store"
        ~doc:
@@ -751,13 +909,17 @@ let profile_cmd =
   let seeds =
     Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"N" ~doc:"Simulation runs per algorithm.")
   in
-  let run dataset seed messages seeds jobs chunk store trace_out =
+  let run dataset seed messages seeds jobs chunk store trace_out failpoints fp_seed retries
+      checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
-    if seeds < 1 then exit_err "--seeds must be at least 1";
-    if messages < 1 then exit_err "--messages must be at least 1";
+    if seeds < 1 then exit_usage "--seeds must be at least 1";
+    if messages < 1 then exit_usage "--messages must be at least 1";
+    let retries = resolve_retries retries in
+    check_resume ~store resume;
+    let checkpoint = resolve_checkpoint ~store checkpoint in
     match Core.Dataset.find dataset with
-    | Error msg -> exit_err msg
+    | Error msg -> exit_usage msg
     | Ok d ->
       let scale =
         {
@@ -767,31 +929,37 @@ let profile_cmd =
           rng_seed = Option.value seed ~default:17L;
         }
       in
+      install_failpoints failpoints fp_seed;
       let ctx = telemetry_ctx ~command:"profile" ~trace_out ~profile:true in
       let store = resolve_store ~telemetry:ctx.sink store in
-      let study, sim =
-        with_store_report store (fun store ->
-            or_die (fun () ->
-                let study =
-                  Core.Experiments.enumeration_study ~jobs ?chunk ?store ~scale
-                    ~telemetry:ctx.sink d
-                in
-                let sim =
-                  Core.Experiments.sim_study ~jobs ?chunk ?store ~scale ~telemetry:ctx.sink d
-                in
-                (study, sim)))
-      in
-      Format.printf "profiled %s: %d enumeration(s), %d algorithm(s) x %d seed(s)@."
-        d.Core.Dataset.label
-        (List.length study.Core.Experiments.messages)
-        (List.length sim.Core.Experiments.runs)
-        seeds;
-      ctx.finish ~store
+      run_sweep
+        ~finish:(fun () -> ctx.finish ~store)
+        (fun () ->
+          let study, sim =
+            with_store_report store (fun store ->
+                or_die (fun () ->
+                    let study =
+                      Core.Experiments.enumeration_study ~jobs ?chunk ?store ~retries
+                        ~checkpoint ~scale ~telemetry:ctx.sink d
+                    in
+                    let sim =
+                      Core.Experiments.sim_study ~jobs ?chunk ?store ~retries ~checkpoint
+                        ~scale ~telemetry:ctx.sink d
+                    in
+                    (study, sim)))
+          in
+          Format.printf "profiled %s: %d enumeration(s), %d algorithm(s) x %d seed(s)@."
+            d.Core.Dataset.label
+            (List.length study.Core.Experiments.messages)
+            (List.length sim.Core.Experiments.runs)
+            seeds;
+          ctx.finish ~store)
   in
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ messages $ seeds $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ])
+      $ trace_out_arg [ "trace" ] $ failpoints_arg $ failpoint_seed_arg $ retries_arg
+      $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -853,4 +1021,7 @@ let main_cmd =
       model_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* cmdliner's own parse failures (unknown flag, bad positional) exit
+   with [term_err] too, so every usage error — ours or cmdliner's — is
+   code 2. *)
+let () = exit (Cmd.eval ~term_err:exit_usage_code main_cmd)

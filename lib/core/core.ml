@@ -12,6 +12,7 @@
     - analytics: {!Homogeneous}, {!Inhomogeneous}, {!Montecarlo}, {!Ode};
     - forwarding evaluation: {!Message}, {!Workload}, {!Algorithm},
       {!Engine}, {!Faults}, {!Metrics}, {!Runner}, {!Registry};
+    - robustness: {!Failpoint}, {!Interrupt};
     - result store: {!Store}, {!Store_codec}, {!Store_key},
       {!Store_memo}, {!Cache}, {!Fnv};
     - telemetry: {!Telemetry}, {!Chrome}, {!Profile}, {!Clock};
@@ -91,6 +92,10 @@ module Metrics = Psn_sim.Metrics
 module Runner = Psn_sim.Runner
 module Parallel = Psn_sim.Parallel
 module Cache = Psn_sim.Cache
+
+(* Robustness (deterministic failure injection, cooperative signals) *)
+module Failpoint = Psn_robust.Failpoint
+module Interrupt = Psn_robust.Interrupt
 
 (* Telemetry (spans, counters, Chrome-trace and profile exporters) *)
 module Telemetry = Psn_telemetry.Telemetry

@@ -85,6 +85,10 @@ module Chrome = Psn_telemetry.Chrome
 module Profile = Psn_telemetry.Profile
 module Clock = Psn_telemetry.Clock
 
+(* Robustness (deterministic fault injection, cooperative interrupts) *)
+module Failpoint = Psn_robust.Failpoint
+module Interrupt = Psn_robust.Interrupt
+
 (* Result store (content-addressed memoization) *)
 module Store = Psn_store.Store
 module Store_codec = Psn_store.Codec

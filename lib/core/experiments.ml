@@ -13,7 +13,10 @@ module Metrics = Psn_sim.Metrics
 module Message = Psn_sim.Message
 module Workload = Psn_sim.Workload
 module Parallel = Psn_sim.Parallel
+module Runner = Psn_sim.Runner
 module Faults = Psn_sim.Faults
+module Failpoint = Psn_robust.Failpoint
+module Interrupt = Psn_robust.Interrupt
 module Store = Psn_store.Store
 module Store_key = Psn_store.Key
 module Store_memo = Psn_store.Memo
@@ -65,11 +68,14 @@ let random_message rng trace =
   in
   (src, dst, Rng.float rng (generation_window trace))
 
-(* Memoized enumeration fan-out, mirroring the runner's store
-   discipline: the store is touched only from the calling domain —
-   finds before, puts after the parallel section over misses — so a
-   warm store changes wall time, never results. *)
-let enumerate_specs ?jobs ?chunk ?store ?(telemetry = T.Sink.null) ~trace ~config snap specs =
+(* Memoized enumeration fan-out, sharing the runner's generic
+   checkpoint/resume machinery ({!Runner.cached_map}): the store is
+   touched only from the calling domain — finds before, puts between
+   and after the parallel rounds — so a warm store changes wall time,
+   never results, and a killed sweep resumes from its last completed
+   round. *)
+let enumerate_specs ?jobs ?chunk ?store ?retries ?checkpoint ?(telemetry = T.Sink.null)
+    ~trace ~config snap specs =
   let compute sink (src, dst, t_create) =
     T.with_span sink "paths.enumerate"
       ~args:[ ("src", T.Int src); ("dst", T.Int dst) ]
@@ -77,36 +83,25 @@ let enumerate_specs ?jobs ?chunk ?store ?(telemetry = T.Sink.null) ~trace ~confi
   in
   T.count telemetry "paths.enumerations" (Array.length specs);
   match store with
-  | None -> Parallel.map_traced ?jobs ?chunk ~telemetry compute specs
+  | None ->
+    Parallel.join_results
+      (Parallel.map_result ?jobs ?chunk ~telemetry ?retries
+         ~env:(fun () -> ())
+         (fun () sink s -> compute sink s)
+         specs)
   | Some st ->
     let trace_hash = Store_key.trace_hash trace in
     let key (src, dst, t_create) =
       Store_key.enumeration ~trace_hash ~config ~src ~dst ~t_create
     in
-    let n = Array.length specs in
-    let cached =
-      T.with_span telemetry "paths.cache_lookup" (fun () ->
-          Array.map (fun s -> Store.find_enumeration st (key s)) specs)
-    in
-    let miss_idx =
-      Array.of_list
-        (List.filter (fun i -> Option.is_none cached.(i)) (List.init n (fun i -> i)))
-    in
-    T.count telemetry "paths.cache_hits" (n - Array.length miss_idx);
-    T.count telemetry "paths.cache_misses" (Array.length miss_idx);
-    let computed =
-      Parallel.map_traced ?jobs ?chunk ~telemetry (fun sink i -> compute sink specs.(i)) miss_idx
-    in
-    T.with_span telemetry "paths.cache_store" (fun () ->
-        Array.iteri
-          (fun j i -> Store.put_enumeration st (key specs.(i)) computed.(j))
-          miss_idx);
-    let rank = Array.make n (-1) in
-    Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
-    Array.init n (fun i ->
-        match cached.(i) with Some v -> v | None -> computed.(rank.(i)))
+    Runner.cached_map ?jobs ?chunk ~telemetry ?retries ?checkpoint ~prefix:"paths"
+      ~env:(fun () -> ())
+      ~find:(fun s -> Store.find_enumeration st (key s))
+      ~store:(fun s v -> Store.put_enumeration st (key s) v)
+      ~compute:(fun () sink s -> compute sink s)
+      specs
 
-let enumeration_study ?jobs ?chunk ?store ?(scale = default_scale)
+let enumeration_study ?jobs ?chunk ?store ?retries ?checkpoint ?(scale = default_scale)
     ?(telemetry = T.Sink.null) dataset
     =
   T.with_span telemetry "experiments.enumeration_study"
@@ -128,7 +123,10 @@ let enumeration_study ?jobs ?chunk ?store ?(scale = default_scale)
     specs.(i) <- random_message rng trace
   done;
   T.end_span telemetry;
-  let results = enumerate_specs ?jobs ?chunk ?store ~telemetry ~trace ~config snap specs in
+  let results =
+    enumerate_specs ?jobs ?chunk ?store ?retries ?checkpoint ~telemetry ~trace ~config
+      snap specs
+  in
   T.with_span telemetry "experiments.collect"
   @@ fun () ->
   (* Post-processing is cheap and pure, so only the enumeration itself
@@ -265,7 +263,25 @@ type sim_study = {
   sim_trace : Trace.t;
   sim_classify : Classify.t;
   runs : (Registry.entry * Engine.outcome list) list;
+  sim_failed : (string * int64 * string) list;
 }
+
+(* Failed cells, flattened for reports: (algorithm label, seed, what
+   went wrong), in (algorithm, seed) order. *)
+let failed_cells entries seeds cells =
+  List.concat
+    (List.map2
+       (fun (e : Registry.entry) cell_list ->
+         List.concat
+           (List.map2
+              (fun seed cell ->
+                match cell with
+                | Ok (_ : Engine.outcome) -> []
+                | Error ex -> [ (e.Registry.label, seed, Failpoint.describe ex) ])
+              seeds cell_list))
+       entries cells)
+
+let ok_cells cell_list = List.filter_map Result.to_option cell_list
 
 (* One store-backed outcome cache per algorithm. Keys use the entry's
    stable registry [name] (never the display label, never anything the
@@ -279,8 +295,8 @@ let entry_caches store ~trace ?faults ~workload entries =
         ~algo:e.Registry.name ())
     entries
 
-let sim_study ?jobs ?chunk ?store ?(scale = default_scale) ?(entries = Registry.paper_six)
-    ?(telemetry = T.Sink.null) dataset =
+let sim_study ?jobs ?chunk ?store ?retries ?checkpoint ?(scale = default_scale)
+    ?(entries = Registry.paper_six) ?(telemetry = T.Sink.null) dataset =
   T.with_span telemetry "experiments.sim_study"
     ~args:[ ("dataset", T.Str dataset.Dataset.label) ]
   @@ fun () ->
@@ -292,18 +308,32 @@ let sim_study ?jobs ?chunk ?store ?(scale = default_scale) ?(entries = Registry.
   in
   let stores = Option.map (fun st -> entry_caches st ~trace ~workload entries) store in
   T.end_span telemetry;
-  (* One parallel batch over the whole algorithm × seed grid. *)
-  let outcomes =
-    Psn_sim.Runner.outcomes_many ?jobs ?chunk ?stores ~telemetry ~trace ~spec
+  (* One parallel batch over the whole algorithm × seed grid; a failed
+     (algorithm, seed) cell costs one cell of the study, never the
+     study. *)
+  let cells =
+    Psn_sim.Runner.outcomes_many_result ?jobs ?chunk ?stores ?retries ?checkpoint
+      ~telemetry ~trace ~spec
       ~factories:(List.map (fun (e : Registry.entry) -> e.Registry.factory) entries)
       ()
   in
-  let runs = List.combine entries outcomes in
-  { sim_dataset = dataset; sim_trace = trace; sim_classify = Classify.of_trace trace; runs }
+  let runs = List.map2 (fun e cell_list -> (e, ok_cells cell_list)) entries cells in
+  {
+    sim_dataset = dataset;
+    sim_trace = trace;
+    sim_classify = Classify.of_trace trace;
+    runs;
+    sim_failed = failed_cells entries spec.Psn_sim.Runner.seeds cells;
+  }
 
 let fig9 study =
-  List.map
-    (fun ((e : Registry.entry), outcomes) -> (e.Registry.label, Metrics.pool outcomes))
+  (* An algorithm whose every seed failed has nothing to pool; its
+     absence (with the reason in [sim_failed]) is the honest row. *)
+  List.filter_map
+    (fun ((e : Registry.entry), outcomes) ->
+      match outcomes with
+      | [] -> None
+      | outcomes -> Some (e.Registry.label, Metrics.pool outcomes))
     study.runs
 
 let fig10 study =
@@ -325,15 +355,19 @@ let pooled_outcome (e : Registry.entry) outcomes =
 
 let fig13 study =
   let grouped_by_algorithm =
-    List.map
-      (fun (e, outcomes) ->
-        let outcome = pooled_outcome e outcomes in
-        let groups =
-          Metrics.grouped outcome ~cmp:Classify.compare_pair_type ~classify:(fun (m : Message.t) ->
-              Classify.pair_type study.sim_classify ~src:m.Message.src ~dst:m.Message.dst)
-        in
-        (e, groups))
-      study.runs
+    (* As in [fig9], all-failed algorithms drop out rather than
+       rendering as a fake all-zero column. *)
+    study.runs
+    |> List.filter (fun ((_ : Registry.entry), outcomes) -> not (List.is_empty outcomes))
+    |> List.map (fun (e, outcomes) ->
+           let outcome = pooled_outcome e outcomes in
+           let groups =
+             Metrics.grouped outcome ~cmp:Classify.compare_pair_type
+               ~classify:(fun (m : Message.t) ->
+                 Classify.pair_type study.sim_classify ~src:m.Message.src
+                   ~dst:m.Message.dst)
+           in
+           (e, groups))
   in
   List.map
     (fun pair ->
@@ -413,6 +447,7 @@ type resilience_level = {
   res_spec : Faults.spec;
   res_rows : (Registry.entry * Metrics.t) list;
   res_survival : Psn_paths.Explosion.survival list;
+  res_failed : (string * int64 * string) list;
 }
 
 type resilience_study = {
@@ -431,7 +466,7 @@ let default_fault_spec =
 
 let default_intensities = [ 0.; 0.5; 1.; 2. ]
 
-let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
+let resilience_study ?jobs ?chunk ?store ?retries ?checkpoint ?(scale = default_scale)
     ?(entries = Registry.paper_six)
     ?(base = default_fault_spec) ?(intensities = default_intensities) ?(path_messages = 40)
     ?(telemetry = T.Sink.null) dataset =
@@ -461,7 +496,8 @@ let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
      memoized fan-out; degraded levels key on the degraded trace's own
      content hash, so levels never alias each other or the baseline. *)
   let enumerate_all tr =
-    enumerate_specs ?jobs ?chunk ?store ~telemetry ~trace:tr ~config (Snapshot.of_trace tr) probes
+    enumerate_specs ?jobs ?chunk ?store ?retries ?checkpoint ~telemetry ~trace:tr ~config
+      (Snapshot.of_trace tr) probes
   in
   let baseline =
     T.with_span telemetry "experiments.baseline" (fun () -> enumerate_all trace)
@@ -470,6 +506,10 @@ let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
   let levels =
     List.map
       (fun intensity ->
+        (* Levels are the sweep's coarse safe points: everything a
+           completed level stored is durable, so an interrupt here
+           loses at most the level in flight. *)
+        Interrupt.check ();
         T.with_span telemetry "experiments.level"
           ~args:[ ("intensity", T.Float intensity) ]
         @@ fun () ->
@@ -480,9 +520,19 @@ let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
             (fun st -> entry_caches st ~trace ~faults:level_spec ~workload entries)
             store
         in
-        let metrics =
-          Psn_sim.Runner.run_many ?jobs ?chunk ?stores ~telemetry ~faults:plan ~trace ~spec
-            ~factories ()
+        let cells =
+          Psn_sim.Runner.outcomes_many_result ?jobs ?chunk ?stores ?retries ?checkpoint
+            ~telemetry ~faults:plan ~trace ~spec ~factories ()
+        in
+        let rows =
+          List.concat
+            (List.map2
+               (fun e cell_list ->
+                 match ok_cells cell_list with
+                 | [] -> []
+                 | outs ->
+                   [ (e, T.with_span telemetry "runner.metrics" (fun () -> Metrics.pool outs)) ])
+               entries cells)
         in
         let degraded = enumerate_all (Faults.degrade plan trace) in
         let survival =
@@ -492,8 +542,9 @@ let resilience_study ?jobs ?chunk ?store ?(scale = default_scale)
         {
           res_intensity = intensity;
           res_spec = level_spec;
-          res_rows = List.combine entries metrics;
+          res_rows = rows;
           res_survival = survival;
+          res_failed = failed_cells entries spec.Psn_sim.Runner.seeds cells;
         })
       intensities
   in

@@ -52,6 +52,8 @@ val enumeration_study :
   ?jobs:int ->
   ?chunk:int ->
   ?store:Psn_store.Store.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?scale:scale ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   Psn_trace.Dataset.t ->
@@ -63,10 +65,13 @@ val enumeration_study :
     claimed in ranges of [chunk] tasks; messages are drawn sequentially
     first, so results do not depend on [jobs] or [chunk]. [store], when given, memoizes each per-message enumeration
     (keyed on trace content, config and message spec) without changing
-    any result. [telemetry] (default null) records phase spans
-    ([setup] / per-pair ["paths.enumerate"] / [collect]) and
-    enumeration cache counters; instrumentation never changes the
-    study. *)
+    any result. [retries] and [checkpoint] behave as in {!Psn_sim.Runner}:
+    bounded deterministic retry of transient failures, and (with a
+    store) checkpoint rounds so a killed study resumes from its last
+    completed round bit-identically. [telemetry] (default null)
+    records phase spans ([setup] / per-pair ["paths.enumerate"] /
+    [collect]) and enumeration cache counters; instrumentation never
+    changes the study. *)
 
 (** {1 Figures 1-8, 11, 14, 15 (measurement side)} *)
 
@@ -114,12 +119,20 @@ type sim_study = {
   sim_trace : Psn_trace.Trace.t;
   sim_classify : Classify.t;
   runs : (Psn_forwarding.Registry.entry * Psn_sim.Engine.outcome list) list;
+      (** Per algorithm, the outcomes of its {e successful} seeds (all
+          of them unless cells failed). *)
+  sim_failed : (string * int64 * string) list;
+      (** Failed cells — (algorithm label, seed, reason) — isolated by
+          {!Psn_sim.Runner.outcomes_many_result} instead of aborting
+          the study. Empty on a healthy run. *)
 }
 
 val sim_study :
   ?jobs:int ->
   ?chunk:int ->
   ?store:Psn_store.Store.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
@@ -132,11 +145,17 @@ val sim_study :
     independent of [jobs] and [chunk]. [store], when
     given, memoizes each (algorithm, seed) outcome — a warm store
     replays the study bit-identically without running the engine.
-    [telemetry] (default null) wraps the study in phase spans and
-    threads through to the runner and engine. *)
+    [retries] retries transient cell failures deterministically;
+    [checkpoint] (with a store) makes the sweep resumable in rounds of
+    that many cells. A cell that still fails lands in [sim_failed]
+    rather than aborting the study. [telemetry] (default null) wraps
+    the study in phase spans and threads through to the runner and
+    engine. *)
 
 val fig9 : sim_study -> (string * Psn_sim.Metrics.t) list
-(** Average delay and success rate per algorithm — one Fig. 9 panel. *)
+(** Average delay and success rate per algorithm — one Fig. 9 panel.
+    Algorithms whose every seed failed are omitted (see
+    [sim_failed]). *)
 
 val fig10 : sim_study -> (string * Psn_stats.Cdf.t) list
 (** Full delay distribution per algorithm. Algorithms that delivered
@@ -173,10 +192,14 @@ type resilience_level = {
   res_spec : Psn_sim.Faults.spec;  (** The scaled spec actually injected. *)
   res_rows : (Psn_forwarding.Registry.entry * Psn_sim.Metrics.t) list;
       (** Pooled multi-seed metrics per algorithm at this intensity
-          ([attempts] > [copies] measures the loss overhead). *)
+          ([attempts] > [copies] measures the loss overhead). Pools
+          the successful seeds; all-failed algorithms are omitted. *)
   res_survival : Psn_paths.Explosion.survival list;
       (** Per probe message, paths surviving on the degraded contact
           set vs the pristine baseline. *)
+  res_failed : (string * int64 * string) list;
+      (** Failed simulation cells at this level — (algorithm label,
+          seed, reason); empty on a healthy run. *)
 }
 
 type resilience_study = {
@@ -195,6 +218,8 @@ val resilience_study :
   ?jobs:int ->
   ?chunk:int ->
   ?store:Psn_store.Store.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?scale:scale ->
   ?entries:Psn_forwarding.Registry.entry list ->
   ?base:Psn_sim.Faults.spec ->
@@ -216,9 +241,13 @@ val resilience_study :
     Deterministic for any [jobs]. [store] memoizes both the per-level
     simulation outcomes (keyed on the fault spec among other inputs)
     and the probe enumerations (keyed on the degraded trace's content
-    hash). [telemetry] (default null) records one ["experiments.level"]
-    span per intensity (tagged with the multiplier) around the fanned
-    runs and enumerations. *)
+    hash). [retries] / [checkpoint] thread through to the runner and
+    enumeration fan-outs as in {!sim_study}; failed simulation cells
+    land in each level's [res_failed]. Level boundaries poll
+    {!Psn_robust.Interrupt.check}, so an interrupted sweep keeps every
+    completed level's stored results. [telemetry] (default null)
+    records one ["experiments.level"] span per intensity (tagged with
+    the multiplier) around the fanned runs and enumerations. *)
 
 (** {1 Analytic-model tables (§5)} *)
 

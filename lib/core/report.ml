@@ -164,6 +164,25 @@ let render_metrics_by_pair ~title groups =
   in
   heading title body
 
+(* Failed sweep cells, one line each; "" when the run was healthy so
+   reports stay byte-identical to the pre-failpoint ones. *)
+let failed_lines failed =
+  match failed with
+  | [] -> ""
+  | cells ->
+    "\n"
+    ^ (cells
+      |> List.map (fun (algo, seed, reason) ->
+             Printf.sprintf "FAILED %s seed %Ld: %s" algo seed reason)
+      |> String.concat "\n")
+
+(* Leads with a newline: callers append this to a rendered table,
+   whose last row has no trailing newline. *)
+let render_failed_cells ~title failed =
+  match failed with
+  | [] -> ""
+  | cells -> "\n" ^ heading title (String.trim (failed_lines cells))
+
 let render_resilience ~title (study : Experiments.resilience_study) =
   let module Explosion = Psn_paths.Explosion in
   let module Faults = Psn_sim.Faults in
@@ -196,6 +215,7 @@ let render_resilience ~title (study : Experiments.resilience_study) =
       (Table.render ~align:metrics_align ~header:metrics_header rows)
       baseline_med surviving_med ratio_med delivered n_probes
       (if Float.is_nan penalty_med then "" else Printf.sprintf ", median delay penalty %+.0f s" penalty_med)
+    ^ failed_lines l.Experiments.res_failed
   in
   heading title
     (String.concat "\n\n" (List.map level_block study.Experiments.res_levels)

@@ -31,7 +31,14 @@ val render_metrics_by_pair :
 val render_resilience : title:string -> Experiments.resilience_study -> string
 (** Per fault intensity: the metrics table of every algorithm (success,
     delays, copies, attempts/copies overhead) plus the surviving-path
-    summary of the probe messages. *)
+    summary of the probe messages, and — when cells failed — one
+    [FAILED algo seed: reason] line per failed cell. *)
+
+val render_failed_cells :
+  title:string -> (string * int64 * string) list -> string
+(** A block of [FAILED algo seed: reason] lines for a study's failed
+    cells ({!Experiments.sim_study}'s [sim_failed]); the empty string
+    when none did, so healthy reports are unchanged. *)
 
 val render_cumulative : title:string -> (float * int) array -> string
 (** Fig. 11: the delivery staircase at regular checkpoints. *)

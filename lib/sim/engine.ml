@@ -415,6 +415,12 @@ let run ?ttl ?faults ?scratch:reuse ?(telemetry = T.Sink.null) ~trace ~messages 
         end
         else if rank = 1 then begin
           let a = (c lsr id_bits) land id_mask and b = c land id_mask in
+          (* Chaos hook: lets a plan kill or fail a run mid-drain, which
+             is exactly the state the scratch's dirty-rebuild path
+             ([s_clean]) exists to recover from. Keyless on purpose —
+             no per-event allocation on the disabled path; use hit
+             rules ([@N]) to pick a specific contact. *)
+          Psn_robust.Failpoint.trigger "engine.contact";
           algorithm.Algorithm.observe_contact ~time ~a ~b;
           add_peer a b;
           add_peer b a;

@@ -25,9 +25,19 @@
     {!map_env}'s per-worker environment.
 
     Exceptions raised by tasks are caught per task — the worker keeps
-    draining its chunk and claiming more — and re-raised in the caller
-    after all workers have joined, lowest task index first, so failure
-    behaviour is deterministic for every [jobs] × [chunk] combination.
+    draining its chunk and claiming more — and either isolated into
+    that task's [result] cell ({!map_result}) or re-raised in the
+    caller after all workers have joined, lowest task index first
+    (every other entry point), so failure behaviour is deterministic
+    for every [jobs] × [chunk] combination.
+
+    Transient failures ({!Psn_robust.Failpoint.is_transient}) are
+    retried in place, up to [retries] extra attempts per task with a
+    deterministic [Domain.cpu_relax] backoff: the attempts of one task
+    run consecutively on one domain under
+    {!Psn_robust.Failpoint.with_attempt}, so an injected failure
+    schedule — and therefore the final cell array — is bit-identical
+    across [jobs] × [chunk].
 
     Telemetry ({!map_traced}, {!map_env}): each worker domain records
     into its own forked {!Psn_telemetry.Telemetry.sink} (one
@@ -90,3 +100,33 @@ val map_env :
     shared with other workers; results must not depend on which tasks
     ended up sharing an environment (the library's environments are
     pure caches, checked by the determinism tests). *)
+
+val map_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  ?retries:int ->
+  env:(unit -> 'env) ->
+  ('env -> Psn_telemetry.Telemetry.sink -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** {!map_env} with graceful degradation: each task's outcome lands in
+    its own [result] cell instead of aborting the sweep, so one failed
+    (algorithm, seed) run costs exactly one cell of a study, never the
+    study. A task that raises is retried in place — same worker, same
+    environment — up to [retries] (default 0, must be [>= 0]) extra
+    attempts {e if} the exception is transient per
+    {!Psn_robust.Failpoint.is_transient}; permanent errors and
+    exhausted retries become [Error] cells carrying the last
+    exception. Attempts run under {!Psn_robust.Failpoint.with_attempt}
+    with a deterministic, scheduling-independent backoff (a bounded
+    [Domain.cpu_relax] spin, doubling per attempt), so the cell array
+    is bit-identical for every [jobs] × [chunk] combination. The sink
+    counts ["parallel.retries"] (re-attempts), ["parallel.recovered"]
+    (tasks that succeeded after retrying) and ["parallel.failures"]
+    (cells that ended [Error]). *)
+
+val join_results : ('a, exn) result array -> 'a array
+(** Unwrap a {!map_result} cell array, re-raising the {e lowest-index}
+    [Error] if any — the deterministic all-or-nothing view the
+    raising entry points are built on. *)

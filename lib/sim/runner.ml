@@ -1,4 +1,6 @@
 module T = Psn_telemetry.Telemetry
+module Failpoint = Psn_robust.Failpoint
+module Interrupt = Psn_robust.Interrupt
 
 type run_spec = { workload : Workload.spec; seeds : int64 list }
 
@@ -15,10 +17,13 @@ let default_seeds k = List.init k (fun i -> Int64.of_int (1000 + i))
    The factory span nests inside the task span so algorithm
    construction is attributed to the task that paid for it in profile
    totals; the algorithm name (known only after the factory returns)
-   is carried by the nested engine.run span. *)
+   is carried by the nested engine.run span. The failpoint site is
+   keyed by the seed, so an injected failure schedule picks the same
+   tasks whatever the claim order. *)
 let run_seed ?faults ~scratch ?(telemetry = T.Sink.null) ~trace ~spec ~factory seed =
   T.with_span telemetry "runner.task" ~args:[ ("seed", T.Str (Int64.to_string seed)) ]
   @@ fun () ->
+  Failpoint.trigger ~key:seed "runner.task";
   T.count telemetry "runner.tasks" 1;
   let algorithm = T.with_span telemetry "runner.factory" (fun () -> factory trace) in
   let rng = Psn_prng.Rng.create ~seed () in
@@ -27,59 +32,109 @@ let run_seed ?faults ~scratch ?(telemetry = T.Sink.null) ~trace ~spec ~factory s
 
 (* Memoized fan-out over an arbitrary task grid. The cache is only
    touched from the calling domain — all lookups happen before the
-   parallel section and all stores after it — so cache backends need
-   no synchronisation and results are stitched back by index, keeping
-   the bit-identical [jobs] contract regardless of the hit pattern.
-   [compute] receives the scratch and the sink of the domain that runs
-   it, so buffers are reused across the domain's misses and task spans
-   land on the right trace track. *)
-let cached_map ?jobs ?chunk ?(telemetry = T.Sink.null) ~find ~store ~compute tasks =
+   parallel sections and all stores between and after them — so cache
+   backends need no synchronisation and results are stitched back by
+   index, keeping the bit-identical [jobs] contract regardless of the
+   hit pattern.
+
+   [checkpoint] splits the misses into rounds of that many tasks, in
+   index order; each round's successes go to the cache before the next
+   round starts, so a killed sweep resumes from its last completed
+   round (the store replays the stored outcomes as hits). Because
+   every task is a pure function of its inputs, the round size changes
+   durability and wall time only, never a result. Between rounds is
+   also the sweep's cooperative interruption point
+   ({!Psn_robust.Interrupt.check}): a SIGINT arrives, the current
+   round still lands in the cache, and [Interrupted] propagates with
+   everything completed so far already durable.
+
+   [compute] receives the worker environment and the sink of the
+   domain that runs it, so buffers are reused across the domain's
+   misses within a round and task spans land on the right trace
+   track. *)
+let cached_map_result ?jobs ?chunk ?(telemetry = T.Sink.null) ?(retries = 0)
+    ?(checkpoint = 0) ?(prefix = "runner") ~env ~find ~store ~compute tasks =
+  if checkpoint < 0 then invalid_arg "Runner.cached_map: checkpoint must be >= 0";
   let n = Array.length tasks in
-  let cached = T.with_span telemetry "runner.cache_lookup" (fun () -> Array.map find tasks) in
+  let cached =
+    T.with_span telemetry (prefix ^ ".cache_lookup") (fun () -> Array.map find tasks)
+  in
   let miss_idx =
     Array.of_list
       (List.filter
          (fun i -> Option.is_none cached.(i))
          (List.init n (fun i -> i)))
   in
-  T.count telemetry "runner.cache_hits" (n - Array.length miss_idx);
-  T.count telemetry "runner.cache_misses" (Array.length miss_idx);
-  let computed =
-    Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch
-      (fun scratch sink i -> compute scratch sink tasks.(i))
-      miss_idx
-  in
-  T.with_span telemetry "runner.cache_store" (fun () ->
-      Array.iteri (fun j i -> store tasks.(i) computed.(j)) miss_idx);
-  let rank = Array.make n (-1) in
-  Array.iteri (fun j i -> rank.(i) <- j) miss_idx;
-  Array.init n (fun i ->
-      match cached.(i) with
-      | Some v -> v
-      | None -> computed.(rank.(i)))
+  let m = Array.length miss_idx in
+  T.count telemetry (prefix ^ ".cache_hits") (n - m);
+  T.count telemetry (prefix ^ ".cache_misses") m;
+  let results = Array.map (Option.map Result.ok) cached in
+  let round_size = if checkpoint = 0 then Int.max 1 m else checkpoint in
+  let pos = ref 0 in
+  while !pos < m do
+    Interrupt.check ();
+    let stop = Int.min m (!pos + round_size) in
+    let batch = Array.sub miss_idx !pos (stop - !pos) in
+    let computed =
+      Parallel.map_result ?jobs ?chunk ~telemetry ~retries ~env
+        (fun e sink i -> compute e sink tasks.(i))
+        batch
+    in
+    T.with_span telemetry (prefix ^ ".cache_store") (fun () ->
+        Array.iteri
+          (fun j i ->
+            match computed.(j) with Ok v -> store tasks.(i) v | Error (_ : exn) -> ())
+          batch);
+    Array.iteri (fun j i -> results.(i) <- Some computed.(j)) batch;
+    if checkpoint > 0 then T.count telemetry (prefix ^ ".checkpoints") 1;
+    pos := stop
+  done;
+  Array.map (function Some r -> r | None -> assert false) results
 
-let outcomes ?jobs ?chunk ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
+let cached_map ?jobs ?chunk ?telemetry ?retries ?checkpoint ?prefix ~env ~find ~store
+    ~compute tasks =
+  Parallel.join_results
+    (cached_map_result ?jobs ?chunk ?telemetry ?retries ?checkpoint ?prefix ~env ~find
+       ~store ~compute tasks)
+
+let outcome_cells ?jobs ?chunk ?faults ?store ?retries ?checkpoint
+    ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let compute scratch sink seed =
     run_seed ?faults ~scratch ~telemetry:sink ~trace ~spec ~factory seed
   in
   match store with
-  | None ->
-    Array.to_list (Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch compute seeds)
+  | None -> Parallel.map_result ?jobs ?chunk ~telemetry ?retries ~env:Engine.scratch compute seeds
   | Some cache ->
-    cached_map ?jobs ?chunk ~telemetry
+    cached_map_result ?jobs ?chunk ~telemetry ?retries ?checkpoint ~env:Engine.scratch
       ~find:(fun seed -> cache.Cache.find ~seed)
       ~store:(fun seed outcome -> cache.Cache.store ~seed outcome)
       ~compute seeds
-    |> Array.to_list
 
-let run_algorithm ?jobs ?chunk ?faults ?store ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
-  let outs = outcomes ?jobs ?chunk ?faults ?store ~telemetry ~trace ~spec ~factory () in
+let outcomes_result ?jobs ?chunk ?faults ?store ?retries ?checkpoint ?telemetry ~trace
+    ~spec ~factory () =
+  Array.to_list
+    (outcome_cells ?jobs ?chunk ?faults ?store ?retries ?checkpoint ?telemetry ~trace
+       ~spec ~factory ())
+
+let outcomes ?jobs ?chunk ?faults ?store ?retries ?checkpoint ?telemetry ~trace ~spec
+    ~factory () =
+  Array.to_list
+    (Parallel.join_results
+       (outcome_cells ?jobs ?chunk ?faults ?store ?retries ?checkpoint ?telemetry ~trace
+          ~spec ~factory ()))
+
+let run_algorithm ?jobs ?chunk ?faults ?store ?retries ?checkpoint
+    ?(telemetry = T.Sink.null) ~trace ~spec ~factory () =
+  let outs =
+    outcomes ?jobs ?chunk ?faults ?store ?retries ?checkpoint ~telemetry ~trace ~spec
+      ~factory ()
+  in
   T.with_span telemetry "runner.metrics" (fun () -> Metrics.pool outs)
 
-let outcomes_many ?jobs ?chunk ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories
-    () =
+let outcome_cells_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint
+    ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
   if List.is_empty spec.seeds then invalid_arg "Runner: need at least one seed";
   let seeds = Array.of_list spec.seeds in
   let facs = Array.of_list factories in
@@ -102,18 +157,42 @@ let outcomes_many ?jobs ?chunk ?faults ?stores ?(telemetry = T.Sink.null) ~trace
   let compute scratch sink (fi, seed) =
     run_seed ?faults ~scratch ~telemetry:sink ~trace ~spec ~factory:facs.(fi) seed
   in
-  let outs =
+  let cells =
     match caches with
-    | None -> Parallel.map_env ?jobs ?chunk ~telemetry ~env:Engine.scratch compute tasks
+    | None ->
+      Parallel.map_result ?jobs ?chunk ~telemetry ?retries ~env:Engine.scratch compute
+        tasks
     | Some caches ->
-      cached_map ?jobs ?chunk ~telemetry
+      cached_map_result ?jobs ?chunk ~telemetry ?retries ?checkpoint ~env:Engine.scratch
         ~find:(fun (fi, seed) -> caches.(fi).Cache.find ~seed)
         ~store:(fun (fi, seed) outcome -> caches.(fi).Cache.store ~seed outcome)
         ~compute tasks
   in
-  List.init (Array.length facs) (fun fi ->
-      List.init n_seeds (fun si -> outs.((fi * n_seeds) + si)))
+  (cells, Array.length facs, n_seeds)
 
-let run_many ?jobs ?chunk ?faults ?stores ?(telemetry = T.Sink.null) ~trace ~spec ~factories () =
-  let outs = outcomes_many ?jobs ?chunk ?faults ?stores ~telemetry ~trace ~spec ~factories () in
+let regroup arr ~n_facs ~n_seeds =
+  List.init n_facs (fun fi -> List.init n_seeds (fun si -> arr.((fi * n_seeds) + si)))
+
+let outcomes_many_result ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ?telemetry
+    ~trace ~spec ~factories () =
+  let cells, n_facs, n_seeds =
+    outcome_cells_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ?telemetry
+      ~trace ~spec ~factories ()
+  in
+  regroup cells ~n_facs ~n_seeds
+
+let outcomes_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ?telemetry ~trace
+    ~spec ~factories () =
+  let cells, n_facs, n_seeds =
+    outcome_cells_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ?telemetry
+      ~trace ~spec ~factories ()
+  in
+  regroup (Parallel.join_results cells) ~n_facs ~n_seeds
+
+let run_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ?(telemetry = T.Sink.null)
+    ~trace ~spec ~factories () =
+  let outs =
+    outcomes_many ?jobs ?chunk ?faults ?stores ?retries ?checkpoint ~telemetry ~trace
+      ~spec ~factories ()
+  in
   T.with_span telemetry "runner.metrics" (fun () -> List.map Metrics.pool outs)

@@ -25,10 +25,25 @@
     [?stores], see {!Cache}): per-seed outcomes found in the cache are
     not recomputed, and freshly computed ones are offered back. The
     cache is consulted strictly before and updated strictly after the
-    parallel section, from the calling domain, so caching composes
+    parallel sections, from the calling domain, so caching composes
     with any [jobs] value and — because a hit is byte-for-byte the
     outcome that the same inputs would recompute — cannot change
     results, only wall time.
+
+    Every entry point also takes [?retries] and [?checkpoint] (both
+    default 0). [retries] bounds deterministic in-place re-attempts of
+    transient task failures ({!Parallel.map_result}). [checkpoint]
+    (with a cache) splits the misses into rounds of that many tasks:
+    each round's successes reach the cache before the next round runs,
+    so a sweep killed mid-way resumes from its last completed round —
+    re-running the same command with the same store replays the stored
+    outcomes as hits, and because every task is a pure function of its
+    inputs the resumed output is bit-identical to an uninterrupted
+    run. Between rounds the runner also polls
+    {!Psn_robust.Interrupt.check}, making round boundaries the
+    cooperative SIGINT/SIGTERM points of a sweep. Without a cache,
+    [checkpoint] is ignored (there is nowhere durable to put a
+    round).
 
     Every entry point also takes [?telemetry] (default null): each run
     records a ["runner.task"] span tagged with its seed (on the track
@@ -53,6 +68,8 @@ val run_algorithm :
   ?chunk:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
@@ -68,6 +85,8 @@ val run_many :
   ?chunk:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
@@ -84,6 +103,8 @@ val outcomes :
   ?chunk:int ->
   ?faults:Faults.plan ->
   ?store:Cache.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
@@ -98,6 +119,8 @@ val outcomes_many :
   ?chunk:int ->
   ?faults:Faults.plan ->
   ?stores:Cache.t list ->
+  ?retries:int ->
+  ?checkpoint:int ->
   ?telemetry:Psn_telemetry.Telemetry.sink ->
   trace:Psn_trace.Trace.t ->
   spec:run_spec ->
@@ -108,3 +131,91 @@ val outcomes_many :
     factory × seed grid is one parallel batch, so stragglers in one
     algorithm overlap with the others' work. Results are grouped per
     factory, seeds in order. *)
+
+(** {1 Graceful degradation}
+
+    The [_result] variants isolate per-task failures into [result]
+    cells instead of aborting the sweep: one failed (algorithm, seed)
+    run costs one cell, and study layers can report the failed cell
+    while still aggregating the rest. The raising entry points above
+    are these followed by {!Parallel.join_results} (lowest failing
+    index re-raised) — either way every successful round still reaches
+    the cache first, so even an aborting sweep checkpoints what it
+    completed. *)
+
+val outcomes_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?faults:Faults.plan ->
+  ?store:Cache.t ->
+  ?retries:int ->
+  ?checkpoint:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factory:Algorithm.factory ->
+  unit ->
+  (Engine.outcome, exn) result list
+
+val outcomes_many_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?faults:Faults.plan ->
+  ?stores:Cache.t list ->
+  ?retries:int ->
+  ?checkpoint:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  trace:Psn_trace.Trace.t ->
+  spec:run_spec ->
+  factories:Algorithm.factory list ->
+  unit ->
+  (Engine.outcome, exn) result list list
+
+(** {1 Generic memoized fan-out}
+
+    The machinery under the entry points above, exported so other
+    sweep layers (the experiment module's enumeration fan-out) share
+    one checkpoint/resume and failure-isolation implementation. *)
+
+val cached_map_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  ?retries:int ->
+  ?checkpoint:int ->
+  ?prefix:string ->
+  env:(unit -> 'env) ->
+  find:('a -> 'b option) ->
+  store:('a -> 'b -> unit) ->
+  compute:('env -> Psn_telemetry.Telemetry.sink -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** Memoized {!Parallel.map_result} over an arbitrary task grid:
+    [find] every task up front (from the calling domain), compute the
+    misses in parallel in rounds of [checkpoint] tasks (default 0 =
+    one round), [store] each round's successes before the next round
+    and poll {!Psn_robust.Interrupt.check} between rounds. Results are
+    stitched back by task index, so the output is bit-identical for
+    every [jobs] × [chunk] × [checkpoint] combination and any hit
+    pattern. [prefix] (default ["runner"]) names the telemetry
+    instrumentation: [<prefix>.cache_lookup] / [<prefix>.cache_store]
+    spans, [<prefix>.cache_hits] / [<prefix>.cache_misses] /
+    [<prefix>.checkpoints] counters. Raises [Invalid_argument] when
+    [checkpoint < 0]. *)
+
+val cached_map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?telemetry:Psn_telemetry.Telemetry.sink ->
+  ?retries:int ->
+  ?checkpoint:int ->
+  ?prefix:string ->
+  env:(unit -> 'env) ->
+  find:('a -> 'b option) ->
+  store:('a -> 'b -> unit) ->
+  compute:('env -> Psn_telemetry.Telemetry.sink -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** {!cached_map_result} followed by {!Parallel.join_results}: all
+    rounds run and checkpoint their successes, then the lowest-index
+    failure (if any) is re-raised. *)

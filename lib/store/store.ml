@@ -1,5 +1,6 @@
 module Det_tbl = Psn_det.Det_tbl
 module T = Psn_telemetry.Telemetry
+module Failpoint = Psn_robust.Failpoint
 
 type entry = {
   kind : Codec.kind;
@@ -13,6 +14,8 @@ type t = {
   mutable clock : int64;  (* logical access clock; never wall time *)
   mutable hits : int64;
   mutable misses : int64;
+  tmp_swept : int;  (* orphaned .tmp files removed at open *)
+  journal_replays : int;  (* journal intents replayed at open *)
   telemetry : T.sink;
       (* Recording sink; describes operations, never steers them. The
          store is single-domain (see .mli), so the caller's sink is
@@ -29,6 +32,9 @@ let tick st =
 
 let manifest_name = "manifest.psn"
 let manifest_path dir = Filename.concat dir manifest_name
+
+let journal_name = "journal.psn"
+let journal_path dir = Filename.concat dir journal_name
 
 let entry_rel hex =
   Filename.concat (String.sub hex 0 2)
@@ -59,12 +65,71 @@ let read_file path =
     Some data
   | exception Sys_error _ -> None
 
-let write_atomic path data =
+(* [fp] names the failpoint site between the temp write and the
+   commit rename — the window a crash matrix must be able to hit. *)
+let write_atomic ?fp path data =
   let tmp = path ^ ".tmp" in
   let oc = Out_channel.open_bin tmp in
   Out_channel.output_string oc data;
   Out_channel.close oc;
+  (match fp with None -> () | Some site -> Failpoint.trigger site);
   Sys.rename tmp path
+
+let remove_quiet path =
+  match Sys.remove path with () -> true | exception Sys_error _ -> false
+
+(* ---- intent journal -------------------------------------------------- *)
+
+(* The journal records what the store is *about to* do to the shard
+   tree, one text line per intent, appended and flushed before the
+   action itself:
+
+     I <hex>   an insert is heading for its rename
+     D <hex>   gc is about to unlink this entry
+
+   The commit point of every operation is a rename or unlink; the
+   manifest rewrite that follows merely caches the result. So after a
+   crash the journal names exactly the keys whose disk state may
+   disagree with the manifest, and replaying it (see [open_]) means
+   re-deriving those rows from disk: adopt a verified frame the
+   manifest missed, complete a deletion the manifest still lists.
+   Replay trusts disk, so it is idempotent — a crash during replay or
+   before the journal truncation just replays again. The journal is
+   deleted once the manifest is saved and reality agrees with it. *)
+
+let journal_append st line =
+  let oc =
+    Out_channel.open_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644 (journal_path st.dir)
+  in
+  Out_channel.output_string oc line;
+  Out_channel.output_char oc '\n';
+  Out_channel.close oc
+
+let journal_clear dir = ignore (remove_quiet (journal_path dir))
+
+let is_hex_char c =
+  let n = Char.code c in
+  (n >= Char.code '0' && n <= Char.code '9')
+  || (n >= Char.code 'a' && n <= Char.code 'f')
+
+(* A crash can tear the final line mid-append; anything that does not
+   parse as a full intent is ignored (its action never ran). *)
+let parse_journal_line line =
+  if
+    String.length line = 18
+    && (Char.equal line.[0] 'I' || Char.equal line.[0] 'D')
+    && Char.equal line.[1] ' '
+    && String.for_all is_hex_char (String.sub line 2 16)
+  then
+    Some ((if Char.equal line.[0] 'I' then `Insert else `Delete), String.sub line 2 16)
+  else None
+
+let read_journal dir =
+  match read_file (journal_path dir) with
+  | None -> []
+  | Some data -> String.split_on_char '\n' data |> List.filter_map parse_journal_line
 
 (* ---- disk walk ------------------------------------------------------ *)
 
@@ -101,6 +166,32 @@ let walk_entries dir f =
           (sorted_names d1))
     (sorted_names dir)
 
+(* A crash between a temp write and its rename strands a [.tmp] file;
+   such a file is garbage by construction (its frame was never
+   committed), so opening the store removes every one — store root
+   (the manifest's temp) and both shard levels. *)
+let sweep_tmp dir =
+  let count = ref 0 in
+  let sweep_dir d =
+    List.iter
+      (fun name ->
+        if Filename.check_suffix name ".tmp" && remove_quiet (Filename.concat d name)
+        then incr count)
+      (sorted_names d)
+  in
+  sweep_dir dir;
+  List.iter
+    (fun s1 ->
+      if is_shard dir s1 then begin
+        let d1 = Filename.concat dir s1 in
+        sweep_dir d1;
+        List.iter
+          (fun s2 -> if is_shard d1 s2 then sweep_dir (Filename.concat d1 s2))
+          (sorted_names d1)
+      end)
+    (sorted_names dir);
+  !count
+
 (* ---- manifest ------------------------------------------------------- *)
 
 let save_manifest st =
@@ -122,7 +213,8 @@ let save_manifest st =
       m_entries;
     }
   in
-  write_atomic (manifest_path st.dir) (Codec.encode_manifest m)
+  write_atomic ~fp:"store.manifest.pre_rename" (manifest_path st.dir)
+    (Codec.encode_manifest m)
 
 (* Rebuild the index from disk: every frame that fully verifies gets a
    row with its access stamp reset to zero. Deterministic — depends
@@ -139,8 +231,39 @@ let rescan dir tbl =
           Hashtbl.replace tbl hex
             { kind; size = String.length data; last_access = 0L }))
 
+(* Bring the index back in line with the shard tree after an
+   interrupted operation: for each journaled intent, disk is the
+   truth. An [I] whose frame landed (rename happened, manifest write
+   did not) is adopted so no committed entry is ever lost; an [I]
+   whose frame is absent or torn never committed, so any stale row
+   goes. A [D] is completed — the unlink is re-issued (idempotent) and
+   the row dropped. *)
+let replay_journal dir tbl intents =
+  List.iter
+    (fun (op, hex) ->
+      let path = Filename.concat dir (entry_rel hex) in
+      match op with
+      | `Insert -> (
+        match read_file path with
+        | None -> Hashtbl.remove tbl hex
+        | Some data -> (
+          match Codec.verify_frame data with
+          | Ok kind ->
+            if not (Hashtbl.mem tbl hex) then
+              Hashtbl.replace tbl hex
+                { kind; size = String.length data; last_access = 0L }
+          | Error (_ : Codec.error) ->
+            ignore (remove_quiet path);
+            Hashtbl.remove tbl hex))
+      | `Delete ->
+        ignore (remove_quiet path);
+        Hashtbl.remove tbl hex)
+    intents
+
 let open_ ?(telemetry = T.Sink.null) ~dir () =
   ensure_dir dir;
+  let tmp_swept = sweep_tmp dir in
+  let intents = read_journal dir in
   let tbl = Hashtbl.create 64 in
   let clock, hits, misses =
     match read_file (manifest_path dir) with
@@ -164,8 +287,18 @@ let open_ ?(telemetry = T.Sink.null) ~dir () =
           m.Codec.m_entries;
         (m.Codec.m_clock, m.Codec.m_hits, m.Codec.m_misses))
   in
-  let st = { dir; tbl; clock; hits; misses; telemetry } in
+  replay_journal dir tbl intents;
+  let journal_replays = List.length intents in
+  let st =
+    { dir; tbl; clock; hits; misses; tmp_swept; journal_replays; telemetry }
+  in
   save_manifest st;
+  (* Only now does the journal go: the manifest just written agrees
+     with the shard tree, so there is nothing left to replay. A crash
+     anywhere above re-runs the same replay against the same disk. *)
+  journal_clear dir;
+  if tmp_swept > 0 then T.count telemetry "store.tmp_swept" tmp_swept;
+  if journal_replays > 0 then T.count telemetry "store.journal_replays" journal_replays;
   st
 
 (* ---- memoization ---------------------------------------------------- *)
@@ -213,12 +346,16 @@ let put_with encode ~kind st key v =
   let data = encode v in
   let path = entry_path st hex in
   ensure_dir (Filename.dirname path);
-  write_atomic path data;
+  Failpoint.trigger "store.insert.pre_journal";
+  journal_append st ("I " ^ hex);
+  write_atomic ~fp:"store.insert.pre_rename" path data;
+  Failpoint.trigger "store.insert.post_rename";
   T.count st.telemetry "store.inserts" 1;
   T.count st.telemetry "store.bytes_written" (String.length data);
   Hashtbl.replace st.tbl hex
     { kind; size = String.length data; last_access = stamp };
-  save_manifest st
+  save_manifest st;
+  journal_clear st.dir
 
 let find_outcome st key = find_with Codec.decode_outcome ~kind:Codec.Outcome st key
 let put_outcome st key v = put_with Codec.encode_outcome ~kind:Codec.Outcome st key v
@@ -237,6 +374,8 @@ type stats = {
   hits : int64;
   misses : int64;
   hit_rate : float option;
+  tmp_swept : int;
+  journal_replays : int;
 }
 
 (* The one place the hit rate is computed; the CLI's [store stats]
@@ -255,6 +394,8 @@ let stats st =
     hits = st.hits;
     misses = st.misses;
     hit_rate = hit_rate ~hits:st.hits ~misses:st.misses;
+    tmp_swept = st.tmp_swept;
+    journal_replays = st.journal_replays;
   }
 
 type gc_report = {
@@ -284,9 +425,10 @@ let gc st ~max_bytes =
     | (hex, e) :: rest ->
       if remaining <= max_bytes then (evicted, freed)
       else begin
-        (match Sys.remove (entry_path st hex) with
-        | () -> ()
-        | exception Sys_error _ -> ());
+        journal_append st ("D " ^ hex);
+        Failpoint.trigger "store.gc.pre_remove";
+        ignore (remove_quiet (entry_path st hex));
+        Failpoint.trigger "store.gc.post_remove";
         Hashtbl.remove st.tbl hex;
         evict_loop (evicted + 1) (freed + e.size) (remaining - e.size) rest
       end
@@ -295,6 +437,7 @@ let gc st ~max_bytes =
   T.count st.telemetry "store.evictions" evicted;
   T.count st.telemetry "store.evicted_bytes" freed_bytes;
   save_manifest st;
+  journal_clear st.dir;
   {
     evicted;
     freed_bytes;

@@ -13,6 +13,22 @@
     crashes) never observe a torn entry. The manifest is rewritten the
     same way after every mutating operation.
 
+    Crash safety goes further than atomic writes: before an insert's
+    rename or a gc unlink, the store appends the intent (["I <hex>"] /
+    ["D <hex>"]) to a flushed text journal ([journal.psn]), deleted
+    once the subsequent manifest rewrite has made index and shard tree
+    agree. {!open_} replays any journal left by a crash — adopting
+    committed frames the manifest missed (a committed entry is never
+    lost), dropping rows whose frame never landed, completing
+    interrupted deletions — and sweeps every orphaned [.tmp] file.
+    Replay trusts disk, so it is idempotent under repeated crashes.
+    The dangerous windows are named {!Psn_robust.Failpoint} sites
+    ([store.insert.pre_journal], [store.insert.pre_rename],
+    [store.insert.post_rename], [store.gc.pre_remove],
+    [store.gc.post_remove], [store.manifest.pre_rename]); the crash
+    matrix test kills the process at each and asserts {!verify} is
+    clean on reopen.
+
     A corrupt entry is never fatal anywhere: {!find_outcome} and
     {!find_enumeration} treat it as a miss (the caller recomputes and
     the subsequent put overwrites — self-repair), and {!verify}
@@ -30,16 +46,19 @@
 type t
 
 val open_ : ?telemetry:Psn_telemetry.Telemetry.sink -> dir:string -> unit -> t
-(** Open (creating the directory if needed) the store at [dir]. Loads
-    the manifest; if it is missing or corrupt, rebuilds the index by
-    scanning the shard directories and verifying each frame, dropping
-    undecodable entries. Raises [Sys_error] only if [dir] cannot be
-    created or read at all.
+(** Open (creating the directory if needed) the store at [dir]. First
+    sweeps orphaned [.tmp] files and replays any crash journal (see
+    above), then loads the manifest; if it is missing or corrupt,
+    rebuilds the index by scanning the shard directories and verifying
+    each frame, dropping undecodable entries. Raises [Sys_error] only
+    if [dir] cannot be created or read at all.
 
     [telemetry] (default null) records ["store.lookup"] /
     ["store.insert"] / ["store.gc"] spans and counters for hits,
-    misses, inserts, corrupt-frame self-repairs, bytes read/written
-    and gc evictions. Recording happens on the calling domain's track
+    misses, inserts, corrupt-frame self-repairs, bytes read/written,
+    gc evictions, plus ["store.tmp_swept"] and
+    ["store.journal_replays"] when recovery found work at open.
+    Recording happens on the calling domain's track
     — consistent with the single-domain contract below — and never
     changes what the store returns. *)
 
@@ -68,6 +87,11 @@ type stats = {
       (** [hits / (hits + misses)], [None] before the first lookup.
           Computed here once; the CLI's [store stats] output and the
           profile report both reuse this field. *)
+  tmp_swept : int;
+      (** Orphaned [.tmp] files removed when this handle was opened. *)
+  journal_replays : int;
+      (** Journal intents replayed when this handle was opened — zero
+          unless the previous process died mid-operation. *)
 }
 
 val stats : t -> stats

@@ -600,6 +600,122 @@ let test_parallel_chunked_exception_order () =
         [ 1; 3; 64 ])
     [ 1; 2; 4; 7 ]
 
+(* --- graceful degradation: map_result cells, retries, checkpoint --- *)
+
+module Failpoint = Core.Failpoint
+
+let with_failpoints spec f =
+  match Failpoint.parse spec with
+  | Error msg -> Alcotest.fail msg
+  | Ok plan ->
+    Failpoint.install plan;
+    Fun.protect ~finally:Failpoint.uninstall f
+
+(* Exceptions carry closures in some payloads; compare cells through a
+   describable shape instead. *)
+let cell_shape = function Ok v -> Ok v | Error e -> Error (Failpoint.describe e)
+
+let test_parallel_map_result_cells () =
+  let input = Array.init 30 (fun i -> i) in
+  let f _env _sink i = if i mod 7 = 3 then raise Stdlib.Not_found else i * 2 in
+  let run ~jobs ~chunk =
+    Core.Parallel.map_result ~jobs ~chunk ~env:(fun () -> ()) f input |> Array.map cell_shape
+  in
+  let seq = run ~jobs:1 ~chunk:1 in
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | Ok v ->
+        Alcotest.(check int) "ok cell value" (i * 2) v;
+        Alcotest.(check bool) "ok cell position" false (i mod 7 = 3)
+      | Error _ -> Alcotest.(check bool) "error cell position" true (i mod 7 = 3))
+    seq;
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cells identical jobs=%d chunk=%d" jobs chunk)
+            true
+            (Stdlib.compare (run ~jobs ~chunk) seq = 0))
+        [ 1; 3; 64 ])
+    [ 2; 4; 7 ];
+  Alcotest.check_raises "join_results re-raises" Stdlib.Not_found (fun () ->
+      ignore
+        (Core.Parallel.join_results
+           (Core.Parallel.map_result ~jobs:4 ~env:(fun () -> ()) f input)))
+
+let test_parallel_retries_recover () =
+  let input = Array.init 12 (fun i -> i) in
+  let f _env _sink i =
+    Failpoint.trigger ~key:(Int64.of_int i) "test.retry";
+    i + 100
+  in
+  with_failpoints "test.retry=flaky*2" (fun () ->
+      (* two extra attempts beat a site that fails the first two *)
+      let cells =
+        Core.Parallel.map_result ~jobs:3 ~chunk:2 ~retries:2 ~env:(fun () -> ()) f input
+      in
+      Array.iteri
+        (fun i cell ->
+          match cell with
+          | Ok v -> Alcotest.(check int) "recovered value" (i + 100) v
+          | Error _ -> Alcotest.failf "task %d not recovered with retries=2" i)
+        cells;
+      (* one extra attempt does not *)
+      let short = Core.Parallel.map_result ~jobs:3 ~retries:1 ~env:(fun () -> ()) f input in
+      Array.iter
+        (function
+          | Ok _ -> Alcotest.fail "retries=1 cannot beat flaky*2"
+          | Error e -> Alcotest.(check bool) "still transient" true (Failpoint.is_transient e))
+        short)
+
+let test_parallel_permanent_not_retried () =
+  let attempts = Atomic.make 0 in
+  let f _env _sink () =
+    Atomic.incr attempts;
+    raise Stdlib.Exit
+  in
+  let cells = Core.Parallel.map_result ~jobs:1 ~retries:5 ~env:(fun () -> ()) f [| () |] in
+  Alcotest.(check int) "permanent failure tried once" 1 (Atomic.get attempts);
+  match cells.(0) with
+  | Error Stdlib.Exit -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected the task's own exception in the cell"
+
+(* Checkpointed rounds reach the cache even when a later task fails
+   permanently, and a rerun against the same cache (the CLI's --resume)
+   reproduces the uninterrupted output bit for bit. *)
+let test_cached_map_checkpoint_resume () =
+  let tbl = Hashtbl.create 32 in
+  let find i = Hashtbl.find_opt tbl i in
+  let store i v = Hashtbl.replace tbl i v in
+  let input = Array.init 20 (fun i -> i) in
+  let compute _env _sink i =
+    Failpoint.trigger ~key:(Int64.of_int i) "test.task";
+    i * i
+  in
+  with_failpoints "test.task=error@13" (fun () ->
+      let cells =
+        Core.Runner.cached_map_result ~jobs:1 ~chunk:1 ~checkpoint:4 ~env:(fun () -> ())
+          ~find ~store ~compute input
+      in
+      let failed =
+        Array.to_list cells |> List.filter (function Error _ -> true | Ok _ -> false)
+      in
+      Alcotest.(check int) "one failed cell" 1 (List.length failed));
+  Alcotest.(check int) "successes checkpointed" 19 (Hashtbl.length tbl);
+  let resumed =
+    Core.Runner.cached_map ~jobs:4 ~chunk:3 ~checkpoint:4 ~env:(fun () -> ()) ~find ~store
+      ~compute input
+  in
+  Alcotest.(check (array int)) "resumed = uninterrupted" (Array.map (fun i -> i * i) input)
+    resumed;
+  Alcotest.check_raises "negative checkpoint rejected"
+    (Invalid_argument "Runner.cached_map: checkpoint must be >= 0") (fun () ->
+      ignore
+        (Core.Runner.cached_map ~checkpoint:(-1) ~env:(fun () -> ()) ~find ~store ~compute
+           input))
+
 (* Scratch reuse is invisible: the same scratch replayed across runs —
    different seeds, a smaller population, even straight after an
    aborted drain left it dirty — yields outcomes bit-identical to
@@ -692,6 +808,59 @@ let qcheck_tests =
           Metrics.equal a b
         in
         arrays_ok && metrics_ok);
+    (* An injected failure schedule is part of the determinism
+       contract: the same plan produces the same Ok/Error cell pattern
+       whatever the jobs × chunk scheduling. *)
+    Test.make ~count:40 ~name:"failpoint schedule independent of jobs x chunk"
+      ~print:(fun (jobs, chunk, n) -> Printf.sprintf "jobs=%d chunk=%d tasks=%d" jobs chunk n)
+      gen
+      (fun (jobs, chunk, n) ->
+        let tasks = Array.init n (fun i -> i) in
+        let f _env _sink i =
+          Core.Failpoint.trigger ~key:(Int64.of_int i) "prop.site";
+          i
+        in
+        let run ~jobs ~chunk =
+          match Core.Failpoint.parse "prop.site=error%0.3" with
+          | Error msg -> QCheck2.Test.fail_report msg
+          | Ok plan ->
+            Core.Failpoint.install plan;
+            Fun.protect ~finally:Core.Failpoint.uninstall (fun () ->
+                Core.Parallel.map_result ~jobs ~chunk ~env:(fun () -> ()) f tasks
+                |> Array.map (function
+                     | Ok v -> Ok v
+                     | Error e -> Error (Core.Failpoint.describe e)))
+        in
+        Stdlib.compare (run ~jobs ~chunk) (run ~jobs:1 ~chunk:1) = 0);
+    (* Kill-and-resume: a sweep that died after checkpointing some
+       rounds, rerun against the same cache with any jobs value,
+       reports metrics bit-identical to a never-interrupted run. *)
+    Test.make ~count:20 ~name:"kill-and-resume metrics bit-identical"
+      ~print:(fun (jobs, kill_at) -> Printf.sprintf "jobs=%d kill_at=%d" jobs kill_at)
+      (Gen.pair (Gen.oneofl [ 1; 2; 4; 7 ]) (Gen.oneofl [ 1; 2; 5 ]))
+      (fun (jobs, kill_at) ->
+        let spec = runner_spec 6 in
+        let factory _ = epidemic in
+        let baseline = Runner.run_algorithm ~jobs:1 ~trace ~spec ~factory () in
+        let tbl = Hashtbl.create 8 in
+        let cache =
+          {
+            Core.Cache.find = (fun ~seed -> Hashtbl.find_opt tbl seed);
+            store = (fun ~seed o -> Hashtbl.replace tbl seed o);
+          }
+        in
+        (match Core.Failpoint.parse (Printf.sprintf "runner.task=error@%d" kill_at) with
+        | Error msg -> QCheck2.Test.fail_report msg
+        | Ok plan ->
+          Core.Failpoint.install plan;
+          Fun.protect ~finally:Core.Failpoint.uninstall (fun () ->
+              ignore
+                (Runner.outcomes_result ~jobs:1 ~chunk:1 ~checkpoint:1 ~store:cache ~trace
+                   ~spec ~factory ())));
+        let resumed =
+          Runner.run_algorithm ~jobs ~checkpoint:2 ~store:cache ~trace ~spec ~factory ()
+        in
+        Metrics.equal baseline resumed);
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
@@ -927,6 +1096,10 @@ let () =
           Alcotest.test_case "parallel map" `Quick test_parallel_map;
           Alcotest.test_case "chunked exception order" `Quick
             test_parallel_chunked_exception_order;
+          Alcotest.test_case "map_result cells" `Quick test_parallel_map_result_cells;
+          Alcotest.test_case "transient retries recover" `Quick test_parallel_retries_recover;
+          Alcotest.test_case "permanent not retried" `Quick test_parallel_permanent_not_retried;
+          Alcotest.test_case "checkpoint and resume" `Quick test_cached_map_checkpoint_resume;
           Alcotest.test_case "scratch reuse" `Quick test_engine_scratch_reuse;
           Alcotest.test_case "dirty scratch rebuilt" `Quick test_engine_scratch_dirty;
         ] );

@@ -462,6 +462,85 @@ let test_runner_warm_bit_identical () =
       Alcotest.(check bool) (Printf.sprintf "algo %d warm = cold" i) true (Core.Metrics.equal c w))
     (List.combine baseline (List.combine cold warm))
 
+(* --- crash recovery: tmp sweep and intent-journal replay ---
+
+   The [error] failpoint action aborts an insert/gc at the same spot a
+   [crash] would kill the process, but inside this test runner; the
+   kill-based matrix over the same sites lives in crash_matrix.ml. *)
+
+let with_failpoints spec f =
+  match Core.Failpoint.parse spec with
+  | Error msg -> Alcotest.fail msg
+  | Ok plan ->
+    Core.Failpoint.install plan;
+    Fun.protect ~finally:Core.Failpoint.uninstall f
+
+let injected f =
+  match f () with
+  | () -> Alcotest.fail "failpoint did not fire"
+  | exception Core.Failpoint.Injected _ -> ()
+
+let test_store_tmp_sweep () =
+  let dir = fresh_dir () in
+  let st = Store.open_ ~dir () in
+  Store.put_outcome st (some_key ()) (sample_outcome ());
+  (* orphan temp files at the root and next to a real entry *)
+  let orphan1 = Filename.concat dir "deadbeef.tmp" in
+  let shard_dir = Filename.dirname (List.hd (entry_files dir)) in
+  let orphan2 = Filename.concat shard_dir "cafe.tmp" in
+  List.iter
+    (fun p ->
+      let oc = open_out_bin p in
+      output_string oc "junk";
+      close_out oc)
+    [ orphan1; orphan2 ];
+  let st2 = Store.open_ ~dir () in
+  Alcotest.(check int) "both orphans swept" 2 (Store.stats st2).Store.tmp_swept;
+  Alcotest.(check bool) "root orphan gone" false (Sys.file_exists orphan1);
+  Alcotest.(check bool) "shard orphan gone" false (Sys.file_exists orphan2);
+  Alcotest.(check int) "entry survives" 1 (Store.stats st2).Store.entries;
+  Alcotest.(check int) "clean reopen sweeps nothing" 0
+    (Store.stats (Store.open_ ~dir ())).Store.tmp_swept
+
+let test_store_insert_crash_windows () =
+  (* died after journalling the intent, before the rename: reopen
+     sweeps the half-written tmp and drops the dangling intent *)
+  let dir = fresh_dir () in
+  let st = Store.open_ ~dir () in
+  let key = some_key () in
+  with_failpoints "store.insert.pre_rename=error@1" (fun () ->
+      injected (fun () -> Store.put_outcome st key (sample_outcome ())));
+  let st2 = Store.open_ ~dir () in
+  Alcotest.(check int) "no entry committed" 0 (Store.stats st2).Store.entries;
+  Alcotest.(check int) "tmp swept" 1 (Store.stats st2).Store.tmp_swept;
+  Alcotest.(check int) "verify clean" 0 (List.length (Store.verify st2).Store.fsck_errors);
+  (* died after the rename, before the manifest update: the replay
+     adopts the committed frame — a committed entry is never lost *)
+  let dir = fresh_dir () in
+  let st = Store.open_ ~dir () in
+  with_failpoints "store.insert.post_rename=error@1" (fun () ->
+      injected (fun () -> Store.put_outcome st key (sample_outcome ())));
+  let st2 = Store.open_ ~dir () in
+  Alcotest.(check int) "journal intent replayed" 1 (Store.stats st2).Store.journal_replays;
+  Alcotest.(check bool) "committed entry adopted" true
+    (Option.is_some (Store.find_outcome st2 key));
+  Alcotest.(check int) "verify clean after adopt" 0
+    (List.length (Store.verify st2).Store.fsck_errors)
+
+let test_store_gc_crash_window () =
+  let dir = fresh_dir () in
+  let st = Store.open_ ~dir () in
+  Store.put_outcome st (some_key ~seed:1L ()) (sample_outcome ());
+  Store.put_outcome st (some_key ~seed:2L ()) (sample_outcome ());
+  (* died between journalling an eviction and removing its file: the
+     replay finishes the deletion, leaving no half-deleted state *)
+  with_failpoints "store.gc.pre_remove=error@1" (fun () ->
+      injected (fun () -> ignore (Store.gc st ~max_bytes:0)));
+  let st2 = Store.open_ ~dir () in
+  Alcotest.(check int) "delete intent replayed" 1 (Store.stats st2).Store.journal_replays;
+  Alcotest.(check int) "eviction completed at reopen" 1 (Store.stats st2).Store.entries;
+  Alcotest.(check int) "verify clean" 0 (List.length (Store.verify st2).Store.fsck_errors)
+
 let test_runner_stores_arity () =
   let trace = sample_trace () in
   let spec = { Core.Runner.workload; seeds = [ 1000L ] } in
@@ -505,6 +584,12 @@ let () =
             test_store_corruption_repair;
           Alcotest.test_case "gc evicts in access order" `Quick test_store_gc_order;
           Alcotest.test_case "enumeration round-trip" `Quick test_store_enumeration_roundtrip;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "orphaned tmp files swept" `Quick test_store_tmp_sweep;
+          Alcotest.test_case "insert crash windows" `Quick test_store_insert_crash_windows;
+          Alcotest.test_case "gc crash window" `Quick test_store_gc_crash_window;
         ] );
       ( "runner",
         [
