@@ -1,10 +1,15 @@
 (* lint.toml is read with a deliberately small TOML subset — comments,
-   an [allow] table, and one `"path-prefix" = ["rule", ...]` entry per
-   line — so the linter needs nothing beyond the compiler toolchain. *)
+   [allow] / [boundary] / [ownership] tables, and one
+   `"path-prefix" = ["entry", ...]` line per key — so the linter needs
+   nothing beyond the compiler toolchain. *)
 
-type t = { allow : (string * string list) list }
+type t = {
+  allow : (string * string list) list;
+  boundary : (string * string list) list;
+  ownership : (string * string list) list;
+}
 
-let empty = { allow = [] }
+let empty = { allow = []; boundary = []; ownership = [] }
 
 let fail lineno fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
 
@@ -22,10 +27,20 @@ let skip_spaces line i =
   let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
   go i
 
-let parse_rule_array lineno line i =
+(* What the elements of a section's arrays must name. [allow] lists
+   rule names, [boundary] lists taint kinds, [ownership] lists binding
+   names (free-form, so a typo only narrows the sanction). *)
+let validate_elem section lineno elem =
+  match section with
+  | `Allow when not (Rules.is_known elem) -> fail lineno "unknown rule %S" elem
+  | `Boundary when not (Rules.is_taint_kind elem) ->
+    fail lineno "unknown taint kind %S (see Rules.taint_kinds)" elem
+  | _ -> Ok ()
+
+let parse_entry_array section lineno line i =
   let n = String.length line in
   let i = skip_spaces line i in
-  if i >= n || line.[i] <> '[' then fail lineno "expected '[' starting a rule list"
+  if i >= n || line.[i] <> '[' then fail lineno "expected '[' starting a list"
   else
     let rec elems acc i =
       let i = skip_spaces line i in
@@ -33,13 +48,14 @@ let parse_rule_array lineno line i =
       else
         match parse_quoted lineno line i with
         | Error _ as e -> e
-        | Ok (rule, i) ->
-          if not (Rules.is_known rule) then fail lineno "unknown rule %S" rule
-          else
+        | Ok (elem, i) -> (
+          match validate_elem section lineno elem with
+          | Error _ as e -> e
+          | Ok () ->
             let i = skip_spaces line i in
-            if i < n && line.[i] = ',' then elems (rule :: acc) (i + 1)
-            else if i < n && line.[i] = ']' then Ok (List.rev (rule :: acc), i + 1)
-            else fail lineno "expected ',' or ']' in rule list"
+            if i < n && line.[i] = ',' then elems (elem :: acc) (i + 1)
+            else if i < n && line.[i] = ']' then Ok (List.rev (elem :: acc), i + 1)
+            else fail lineno "expected ',' or ']' in list")
     in
     elems [] (i + 1)
 
@@ -57,18 +73,23 @@ let strip_comment line =
 
 let of_string text =
   let lines = String.split_on_char '\n' text in
-  let rec go lineno section acc = function
-    | [] -> Ok { allow = List.rev acc }
+  let rec go lineno section allow boundary ownership = function
+    | [] ->
+      Ok { allow = List.rev allow; boundary = List.rev boundary; ownership = List.rev ownership }
     | raw :: rest -> (
       let line = String.trim (strip_comment (String.trim raw)) in
-      if String.equal line "" then go (lineno + 1) section acc rest
+      if String.equal line "" then go (lineno + 1) section allow boundary ownership rest
       else if line.[0] = '[' then
-        if String.equal line "[allow]" then go (lineno + 1) `Allow acc rest
-        else fail lineno "unknown section %s (only [allow] is supported)" line
+        match line with
+        | "[allow]" -> go (lineno + 1) `Allow allow boundary ownership rest
+        | "[boundary]" -> go (lineno + 1) `Boundary allow boundary ownership rest
+        | "[ownership]" -> go (lineno + 1) `Ownership allow boundary ownership rest
+        | _ ->
+          fail lineno "unknown section %s (expected [allow], [boundary] or [ownership])" line
       else
         match section with
         | `None -> fail lineno "entry outside any section"
-        | `Allow -> (
+        | (`Allow | `Boundary | `Ownership) as section -> (
           match parse_quoted lineno line 0 with
           | Error _ as e -> e
           | Ok (prefix, i) -> (
@@ -76,15 +97,20 @@ let of_string text =
             if i >= String.length line || line.[i] <> '=' then
               fail lineno "expected '=' after path prefix"
             else
-              match parse_rule_array lineno line (i + 1) with
+              match parse_entry_array section lineno line (i + 1) with
               | Error _ as e -> e
-              | Ok (rules, i) ->
+              | Ok (entries, i) ->
                 let rest_of_line = String.trim (String.sub line i (String.length line - i)) in
                 if not (String.equal rest_of_line "") then
                   fail lineno "trailing junk %S" rest_of_line
-                else go (lineno + 1) section ((prefix, rules) :: acc) rest)))
+                else
+                  let kv = (prefix, entries) in
+                  let allow = if section = `Allow then kv :: allow else allow in
+                  let boundary = if section = `Boundary then kv :: boundary else boundary in
+                  let ownership = if section = `Ownership then kv :: ownership else ownership in
+                  go (lineno + 1) section allow boundary ownership rest)))
   in
-  go 1 `None [] lines
+  go 1 `None [] [] [] lines
 
 let load path =
   match open_in_bin path with
@@ -103,9 +129,35 @@ let normalize path =
     String.sub path 2 (String.length path - 2)
   else path
 
-let allowed t ~path ~rule =
+(* Directory-boundary-aware prefix matching: a prefix names either an
+   exact path or a directory subtree, never a character prefix —
+   "bin" (or the equivalent "bin/") covers "bin/foo.ml" but not
+   "bin_utils/foo.ml", and "lib/telemetry/clock.ml" covers exactly
+   that file. An empty prefix covers nothing: sanctioning the whole
+   tree must be spelled out path by path. *)
+let prefix_matches ~prefix path =
+  let prefix = normalize prefix in
   let path = normalize path in
+  let dir =
+    if String.ends_with ~suffix:"/" prefix then String.sub prefix 0 (String.length prefix - 1)
+    else prefix
+  in
+  (not (String.equal dir ""))
+  && (String.equal path dir || String.starts_with ~prefix:(dir ^ "/") path)
+
+let lookup entries ~path ~entry =
   List.exists
-    (fun (prefix, rules) ->
-      String.starts_with ~prefix path && List.exists (String.equal rule) rules)
-    t.allow
+    (fun (prefix, entries) ->
+      prefix_matches ~prefix path && List.exists (String.equal entry) entries)
+    entries
+
+let allowed t ~path ~rule = lookup t.allow ~path ~entry:rule
+
+let boundary t ~path ~kind = lookup t.boundary ~path ~entry:kind
+
+let owned t ~path ~name =
+  List.exists
+    (fun (prefix, names) ->
+      prefix_matches ~prefix path
+      && List.exists (fun n -> String.equal n "*" || String.equal n name) names)
+    t.ownership

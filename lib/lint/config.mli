@@ -1,20 +1,48 @@
-(** The per-path allowlist from lint.toml.
+(** The per-path configuration from lint.toml.
 
-    The file is a small TOML subset: full-line [#] comments, a single
-    [\[allow\]] table, and one ["path-prefix" = \["rule", ...\]] entry
-    per line. Rule names are validated against {!Rules.all} at load
-    time so a typo cannot silently allow everything. *)
+    The file is a small TOML subset: full-line [#] comments and three
+    tables, each holding one ["path-prefix" = \["entry", ...\]] line
+    per key:
+
+    - [\[allow\]] — rule names suppressed under a path (validated
+      against {!Rules.all} at load time so a typo cannot silently
+      allow everything);
+    - [\[boundary\]] — taint kinds (validated against
+      {!Rules.taint_kinds}) absorbed by a path: functions defined
+      there may carry the effect without tainting their callers
+      (e.g. lib/telemetry/clock.ml for ["wall-clock"]);
+    - [\[ownership\]] — names of top-level mutable bindings (or ["*"])
+      declared domain-safe under a path, exempting them from the
+      {!Domain_safety} pass.
+
+    Prefixes are directory-boundary-aware: ["bin"] (or ["bin/"])
+    covers ["bin/foo.ml"] but never ["bin_utils/foo.ml"], and a full
+    file path covers exactly that file. *)
 
 type t
 
 val empty : t
-(** No allowances: every rule applies everywhere. *)
+(** No allowances, boundaries or ownership: every rule applies
+    everywhere. *)
 
 val of_string : string -> (t, string) result
 
 val load : string -> (t, string) result
 (** Read and parse a lint.toml; errors carry the file name and line. *)
 
+val prefix_matches : prefix:string -> string -> bool
+(** [prefix_matches ~prefix path] — the directory-boundary-aware match
+    all three tables use (exposed for the property tests). Both sides
+    are normalised (leading "./" removed); an empty prefix matches
+    nothing. *)
+
 val allowed : t -> path:string -> rule:string -> bool
-(** Whether [rule] is allowlisted for [path] (prefix match on the path
-    as passed to the linter, with any leading "./" removed). *)
+(** Whether [rule] is allowlisted for [path]. *)
+
+val boundary : t -> path:string -> kind:string -> bool
+(** Whether [path] absorbs taint of [kind] (see {!Effects}). *)
+
+val owned : t -> path:string -> name:string -> bool
+(** Whether the top-level binding [name] in [path] is declared
+    domain-safe (see {!Domain_safety}); ["*"] in the entry list covers
+    every binding under the prefix. *)

@@ -1,0 +1,102 @@
+(* Interprocedural effect-taint propagation over the call graph.
+
+   Seeding: a definition whose body reads an ambient source
+   (Random.*, the wall clock, Hashtbl iteration order, the
+   polymorphic hash, process environment) is tainted with that
+   source's kind — unless its file is declared a [boundary] for the
+   kind in lint.toml, in which case the effect is absorbed there and
+   never propagates (that is what makes lib/telemetry/clock.ml the
+   one sanctioned clock).
+
+   Propagation: taint flows caller-ward along edges until fixpoint.
+   An in-file [@lint.allow "wall-clock"] on the source suppresses the
+   per-file syntactic finding but does NOT stop taint — that
+   asymmetry is the whole point of this pass: a suppression is a
+   local waiver, a boundary is an architectural decision.
+
+   Reporting: every call edge into a tainted definition is a finding
+   in the caller, unless the caller's file is itself a boundary for
+   the kind, the site carries [@lint.allow "effect-taint"], or the
+   caller's path is allowlisted. Each witness chain is rendered into
+   the message so the reader sees the path down to the raw source.
+
+   Determinism: edges are iterated in their sorted order and the
+   first witness for a (node, kind) pair wins, so messages are stable
+   across runs and across --jobs. *)
+
+type witness = Direct of Callgraph.source | Via of int * Location.t
+
+type taint = (string, witness) Hashtbl.t array  (* kind -> witness, per node *)
+
+let propagate ~config (g : Callgraph.t) : taint =
+  let taint = Array.map (fun _ -> Hashtbl.create 4) g.Callgraph.nodes in
+  Array.iter
+    (fun (node : Callgraph.node) ->
+      List.iter
+        (fun (s : Callgraph.source) ->
+          if
+            (not (Config.boundary config ~path:node.Callgraph.n_file ~kind:s.Callgraph.s_kind))
+            && not (Hashtbl.mem taint.(node.Callgraph.n_id) s.Callgraph.s_kind)
+          then Hashtbl.replace taint.(node.Callgraph.n_id) s.Callgraph.s_kind (Direct s))
+        node.Callgraph.n_sources)
+    g.Callgraph.nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        let caller = g.Callgraph.nodes.(e.Callgraph.e_from) in
+        List.iter
+          (fun kind ->
+            if
+              Hashtbl.mem taint.(e.Callgraph.e_to) kind
+              && (not (Hashtbl.mem taint.(e.Callgraph.e_from) kind))
+              && not (Config.boundary config ~path:caller.Callgraph.n_file ~kind)
+            then begin
+              Hashtbl.replace taint.(e.Callgraph.e_from) kind
+                (Via (e.Callgraph.e_to, e.Callgraph.e_loc));
+              changed := true
+            end)
+          Rules.taint_kinds)
+      g.Callgraph.edges
+  done;
+  taint
+
+(* "Mid.stamp -> Clock_src.now -> Unix.gettimeofday" *)
+let chain (g : Callgraph.t) (taint : taint) start kind =
+  let rec go id depth =
+    if depth > 16 then [ "..." ]
+    else
+      let name = g.Callgraph.nodes.(id).Callgraph.n_name in
+      match Hashtbl.find_opt taint.(id) kind with
+      | None -> [ name ]
+      | Some (Direct s) -> [ name; s.Callgraph.s_what ]
+      | Some (Via (next, _)) -> name :: go next (depth + 1)
+  in
+  String.concat " -> " (go start 0)
+
+let run ~config (g : Callgraph.t) : Diagnostic.t list =
+  let taint = propagate ~config g in
+  List.concat_map
+    (fun (e : Callgraph.edge) ->
+      let caller = g.Callgraph.nodes.(e.Callgraph.e_from) in
+      if
+        List.exists (String.equal "effect-taint") e.Callgraph.e_allows
+        || Config.allowed config ~path:caller.Callgraph.n_file ~rule:"effect-taint"
+      then []
+      else
+        List.filter_map
+          (fun kind ->
+            if Config.boundary config ~path:caller.Callgraph.n_file ~kind then None
+            else if not (Hashtbl.mem taint.(e.Callgraph.e_to) kind) then None
+            else
+              let message =
+                Printf.sprintf
+                  "call reaches %s through %s; absorb the effect behind a [boundary] in \
+                   lint.toml or thread it explicitly"
+                  kind
+                  (chain g taint e.Callgraph.e_to kind)
+              in
+              Some (Diagnostic.of_location e.Callgraph.e_loc ~rule:"effect-taint" ~message))
+          Rules.taint_kinds)
+    g.Callgraph.edges

@@ -10,11 +10,24 @@
     commas or spaces. *)
 
 val check_file : config:Config.t -> string -> Diagnostic.t list
-(** Lint one [.ml] or [.mli] file (other extensions yield no
-    findings). Unparseable files produce a single [syntax-error]
-    finding rather than an exception. *)
+(** Lint one [.ml] or [.mli] file with the per-file syntactic rules
+    only (other extensions yield no findings). Unparseable files
+    produce a single [syntax-error] finding rather than an
+    exception. *)
+
+val analyze :
+  config:Config.t -> ?jobs:int -> string list -> Diagnostic.t list * Callgraph.t
+(** Lint every [.ml]/[.mli] under the given files and directories
+    (recursively; entries starting with ['.'] or ['_'] are skipped):
+    the per-file syntactic rules, then the whole-program passes over
+    the call graph — {!Effects}, {!Domain_safety}, {!Hotpath}.
+
+    [jobs] fans the per-file walks over that many domains; parsing
+    stays sequential (compiler-libs keeps lexer state in globals).
+    Findings, and the returned graph, are byte-identical for every
+    [jobs] value: files are pre-sorted, results are slotted by file
+    index, and everything downstream is sorted. *)
 
 val run : config:Config.t -> string list -> Diagnostic.t list
-(** Lint every [.ml]/[.mli] under the given files and directories
-    (recursively; entries starting with ['.'] or ['_'] are skipped)
-    and return all findings sorted by (file, line, col, rule). *)
+(** [analyze] with the graph dropped: all findings sorted by
+    (file, line, col, rule). *)

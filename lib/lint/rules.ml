@@ -81,7 +81,31 @@ let all =
       summary = "malformed lint.allow attribute or unknown rule name";
       rationale = "A typo in a suppression must surface as a finding, never as a silently widened allowance.";
     };
+    {
+      name = "effect-taint";
+      summary = "call site transitively reaches ambient nondeterminism (interprocedural)";
+      rationale = "A function that calls — through any number of layers — ambient randomness, the wall clock, hash-order iteration, the polymorphic hash or process environment state is itself nondeterministic, even when the offending file suppressed the direct syntactic finding; callers are flagged unless the effect is absorbed by a sanctioned [boundary] in lint.toml (e.g. lib/telemetry/clock.ml for wall-clock).";
+    };
+    {
+      name = "domain-race";
+      summary = "task passed to Parallel.map* reaches shared top-level mutable state";
+      rationale = "Top-level refs, Hashtbl.t, Buffer.t or arrays reached by a function fanned out over domains are written by every worker at once — the exact failure mode the engine's per-domain scratch ownership exists to prevent. Give each domain its own state through ~env, use Atomic, or declare per-domain ownership in lint.toml's [ownership] table.";
+    };
+    {
+      name = "hot-path-alloc";
+      summary = "allocation or polymorphic call reachable from a [@psn.hot] function";
+      rationale = "Functions annotated [@psn.hot] (engine drain kernels, enumeration inner loops) are checked transitively for closure/list/tuple/record allocation and polymorphic comparison: a helper that conses in a loop three modules away still costs the hot path. Suppressing at the allocation site sanctions it for every hot caller; suppressing at the call site sanctions one edge.";
+    };
   ]
+
+(* Effect kinds the interprocedural taint pass propagates. Boundary
+   declarations in lint.toml ([boundary] section) are validated against
+   this list, exactly as [allow] entries are validated against the rule
+   names above. *)
+let taint_kinds =
+  [ "ambient-random"; "wall-clock"; "hash-order-iteration"; "hashtbl-hash"; "ambient-env" ]
+
+let is_taint_kind name = List.exists (String.equal name) taint_kinds
 
 let find name = List.find_opt (fun r -> String.equal r.name name) all
 

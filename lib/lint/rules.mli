@@ -12,5 +12,12 @@ val is_known : string -> bool
 (** Whether [name] names a registered rule (used to reject typos in
     suppression attributes and lint.toml). *)
 
+val taint_kinds : string list
+(** The effect kinds {!Effects} propagates interprocedurally, in
+    documentation order; [\[boundary\]] entries in lint.toml must name
+    kinds from this list. *)
+
+val is_taint_kind : string -> bool
+
 val pp_list : Format.formatter -> unit -> unit
 (** Render the registry, one rule per entry, for [--rules]. *)

@@ -34,13 +34,13 @@ type ipath = {
 
 let bitset_create n = Bytes.make ((n + 7) / 8) '\000'
 
-let bitset_mem bs i = Char.code (Bytes.get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0
+let[@psn.hot] bitset_mem bs i = Char.code (Bytes.get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let bitset_add bs i =
+let[@psn.hot] bitset_add bs i =
   let byte = i lsr 3 in
   Bytes.set bs byte (Char.chr (Char.code (Bytes.get bs byte) lor (1 lsl (i land 7))))
 
-let bitset_remove bs i =
+let[@psn.hot] bitset_remove bs i =
   let byte = i lsr 3 in
   Bytes.set bs byte (Char.chr (Char.code (Bytes.get bs byte) land lnot (1 lsl (i land 7)) land 0xff))
 
@@ -49,7 +49,7 @@ let bitset_with bs i =
   bitset_add copy i;
   copy
 
-let bitset_intersects a b =
+let[@psn.hot] bitset_intersects a b =
   let len = Bytes.length a in
   let rec scan i =
     if i >= len then false

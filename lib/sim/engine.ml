@@ -151,7 +151,7 @@ let ensure_events s cap =
    and its swap sequence is a pure function of the key sequence (equal
    keys are indistinguishable), so the sorted order is deterministic
    whatever buffer contents a previous run left past [len]. *)
-let sort_events time code len =
+let[@psn.hot] sort_events time code len =
   let less i j =
     let c = Float.compare time.(i) time.(j) in
     if c <> 0 then c < 0 else code.(i) < code.(j)
@@ -187,20 +187,27 @@ let sort_events time code len =
 (* The schedule is written into the scratch buffers and sorted in
    place: no cons cells, no per-event allocation — this is rebuilt
    once per run and was a measurable share of short runs. *)
-let build_events s trace messages n_msgs =
+let[@psn.hot] build_events s trace messages n_msgs =
   let n_events = (2 * Trace.n_contacts trace) + n_msgs in
-  ensure_events s n_events;
+  (* The hot contract here is no allocation per *event*; the four
+     suppressed sites below are once per run: the scratch grow path,
+     one cursor cell, and the two walker closures. *)
+  (ensure_events s n_events) [@lint.allow "hot-path-alloc"];
   let time = s.s_ev_time and code = s.s_ev_code in
-  let idx = ref 0 in
+  let idx = (ref 0) [@lint.allow "hot-path-alloc"] in
   let push t c =
     time.(!idx) <- t;
     code.(!idx) <- c;
     incr idx
   in
-  Trace.iter_contacts trace (fun (c : Contact.t) ->
-      push c.Contact.t_start (code_start c.Contact.a c.Contact.b);
-      push c.Contact.t_end (code_end c.Contact.a c.Contact.b));
-  List.iter (fun (m : Message.t) -> push m.Message.t_create (code_create m.Message.id)) messages;
+  Trace.iter_contacts trace
+    ((fun (c : Contact.t) ->
+       push c.Contact.t_start (code_start c.Contact.a c.Contact.b);
+       push c.Contact.t_end (code_end c.Contact.a c.Contact.b)) [@lint.allow "hot-path-alloc"]);
+  List.iter
+    ((fun (m : Message.t) -> push m.Message.t_create (code_create m.Message.id))
+    [@lint.allow "hot-path-alloc"])
+    messages;
   sort_events time code n_events;
   n_events
 

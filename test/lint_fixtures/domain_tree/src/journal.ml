@@ -1,0 +1,5 @@
+(* Declared in the tree's [ownership] table: each domain appends to
+   its own region by contract (the fixture only needs the claim). *)
+let buf = Buffer.create 64
+
+let log s = Buffer.add_string buf s

@@ -1,0 +1,5 @@
+(* Atomics are the sanctioned cross-domain cell: never registered as
+   shared mutable state. *)
+let counter = Atomic.make 0
+
+let touch () = Atomic.incr counter

@@ -1,0 +1,7 @@
+(* Shared top-level table: the race the domain-safety pass exists to
+   catch when it leaks into a parallel task. *)
+let hits : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  let n = match Hashtbl.find_opt hits k with Some n -> n | None -> 0 in
+  Hashtbl.replace hits k (n + 1)

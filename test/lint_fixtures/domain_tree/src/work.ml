@@ -1,0 +1,2 @@
+(* The task itself touches nothing suspicious syntactically. *)
+let task k = State.bump k

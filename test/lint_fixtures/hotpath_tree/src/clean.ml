@@ -1,0 +1,2 @@
+(* Allocation-free kernel: stays silent. *)
+let[@psn.hot] lo x = x land 0xff

@@ -1,0 +1,2 @@
+(* The allocation lives here, one module away from the hot kernel. *)
+let step x = (x, [ x ])

@@ -1,0 +1,3 @@
+(* No allocation syntax in this file: the finding arrives through
+   the call into Helper.step. *)
+let[@psn.hot] drain x = Helper.step x

@@ -1,0 +1,2 @@
+(* A direct allocation inside the hot function itself. *)
+let[@psn.hot] pair x = (x, x)

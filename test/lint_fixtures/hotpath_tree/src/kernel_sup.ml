@@ -1,0 +1,3 @@
+(* Cold edge (called once at startup): sanctioned with a
+   justification, as the rule's contract requires. *)
+let[@psn.hot] warm x = (Helper.step x) [@lint.allow "hot-path-alloc"]

@@ -1,0 +1,6 @@
+(* The raw clock read. The syntactic wall-clock finding is suppressed
+   in-file, but this file is deliberately NOT a [boundary] in the
+   tree's lint.toml — so the taint still flows to every caller. *)
+[@@@lint.allow "wall-clock"]
+
+let now () = Unix.gettimeofday ()

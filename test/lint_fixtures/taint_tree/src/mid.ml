@@ -1,0 +1,2 @@
+(* One level of indirection over the unsanctioned clock. *)
+let stamp () = Clock_src.now ()

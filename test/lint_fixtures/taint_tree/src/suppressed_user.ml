@@ -1,0 +1,4 @@
+(* Call-site waiver: this one consumer knowingly takes the tainted
+   stamp (it feeds a log line, never a result); the taint itself
+   still propagates to anything calling us. *)
+let log_stamp () = (Mid.stamp ()) [@lint.allow "effect-taint"]
