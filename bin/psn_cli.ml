@@ -1,7 +1,7 @@
 (* psn: command-line interface to the PSN path-diversity library.
 
    Subcommands: generate, info, paths, explosion, simulate, resilience,
-   experiment, model. Run `psn --help` or `psn <cmd> --help` for
+   serve, experiment, model. Run `psn --help` or `psn <cmd> --help` for
    details. *)
 
 open Cmdliner
@@ -628,6 +628,267 @@ let resilience_cmd =
           report delivery, overhead and surviving path counts.")
     term
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let script =
+    let doc =
+      "Read protocol lines from $(docv) instead of standard input ('-'). One request per \
+       line: contact events in the trace format (a,b,t_start,t_end), 'advance T', \
+       'inject SRC DST [T]', 'paths SRC DST [T]', 'delivery SRC DST [T]', 'route', \
+       'stats', 'snapshot', 'quit'; blank lines and '#' comments are skipped."
+    in
+    Arg.(value & opt string "-" & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let span =
+    Arg.(
+      value & opt float 3600.
+      & info [ "window" ] ~docv:"SECONDS" ~doc:"Sliding-window length in stream seconds.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"N" ~doc:"Hard cap on live contacts held in the window.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (enum [ ("drop", Core.Serve_window.Drop); ("slide", Core.Serve_window.Slide) ])
+          Core.Serve_window.Slide
+      & info [ "policy" ] ~docv:"drop|slide"
+          ~doc:
+            "What an over-budget ingest does: 'drop' rejects the incoming contact, 'slide' \
+             evicts the earliest-ending live contacts to make room.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 0
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Fixed population size (contacts naming nodes beyond it are errors). 0 grows \
+             the population with the stream.")
+  in
+  let delta =
+    Arg.(
+      value & opt float 10.
+      & info [ "delta" ] ~docv:"SECONDS" ~doc:"Rasterisation step for 'paths' queries.")
+  in
+  let k =
+    Arg.(
+      value & opt int 64
+      & info [ "k" ] ~docv:"K" ~doc:"Paths retained per node in 'paths' enumeration.")
+  in
+  let strategies =
+    let doc =
+      "Comma-separated forwarding strategies the router balances across. Available \
+       (online only): "
+      ^ String.concat ", " (List.map (fun e -> e.Core.Registry.name) Core.Registry.online)
+      ^ ". Default: all of them."
+    in
+    Arg.(value & opt (some string) None & info [ "a"; "strategies" ] ~docv:"NAMES" ~doc)
+  in
+  let alpha =
+    Arg.(
+      value & opt float Core.Multipath.default_config.Core.Multipath.alpha
+      & info [ "alpha" ] ~docv:"A" ~doc:"EWMA smoothing factor of the router, in (0, 1].")
+  in
+  let explore =
+    Arg.(
+      value & opt int Core.Multipath.default_config.Core.Multipath.explore
+      & info [ "explore" ] ~docv:"N"
+          ~doc:"Observations below which a strategy scores as optimistic (forced sampling).")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P" ~doc:"Per-transfer loss probability (in [0, 1)).")
+  in
+  let crash_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "crash-rate" ] ~docv:"PER_HOUR" ~doc:"Node crashes per hour.")
+  in
+  let down_time =
+    Arg.(
+      value & opt float 300.
+      & info [ "down-time" ] ~docv:"SECONDS" ~doc:"Mean downtime per crash, seconds.")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"FRAC"
+          ~doc:"Maximum fraction of each contact truncated (in [0, 1]).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int64 99L
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of every fault decision.")
+  in
+  let session =
+    Arg.(
+      value & opt string "default"
+      & info [ "session" ] ~docv:"NAME"
+          ~doc:"Snapshot slot name inside the --store (one live snapshot per name).")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Also write a snapshot after every $(docv) ingested contacts (0: only at \
+             end-of-stream). Requires --store.")
+  in
+  let serve_resume =
+    let doc =
+      "Resume the --session snapshot from the --store and continue the stream where it \
+       left off; replies continue byte-identically to an uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let serve_jobs =
+    let doc =
+      "Worker domains for per-strategy query fan-out. Defaults to 1 (reusing one \
+       scratch); replies are identical for any value."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run script span budget policy nodes delta k strategies alpha explore loss crash_rate
+      down_time jitter fault_seed store session snapshot_every resume jobs chunk trace_out
+      profile failpoints fp_seed =
+    if jobs < 1 then exit_usage "--jobs must be at least 1";
+    let chunk = resolve_chunk chunk in
+    if snapshot_every < 0 then exit_usage "--snapshot-every must be non-negative";
+    if snapshot_every > 0 && Option.is_none store then
+      exit_usage "--snapshot-every requires --store DIR (snapshots live in the store)";
+    if resume && Option.is_none store then
+      exit_usage "--resume requires --store DIR (snapshots live in the store)";
+    let faults =
+      if Float.equal loss 0. && Float.equal crash_rate 0. && Float.equal jitter 0. then None
+      else begin
+        let spec =
+          {
+            Core.Faults.loss;
+            crash_rate = crash_rate /. 3600.;
+            down_time;
+            jitter;
+            seed = fault_seed;
+          }
+        in
+        match Core.Faults.validate spec with
+        | Error msg -> exit_usage msg
+        | Ok () -> Some spec
+      end
+    in
+    let config =
+      {
+        Core.Serve.window = { Core.Serve_window.span; budget; policy; nodes };
+        delta;
+        k;
+        strategies =
+          (match strategies with
+          | None -> []
+          | Some spec -> String.split_on_char ',' spec |> List.map String.trim);
+        router = { Core.Multipath.alpha; explore };
+        faults;
+      }
+    in
+    install_failpoints failpoints fp_seed;
+    let ctx = telemetry_ctx ~command:"serve" ~trace_out ~profile in
+    let store = resolve_store ~telemetry:ctx.sink store in
+    let server =
+      let fresh () =
+        match
+          Core.Serve.create ~telemetry:ctx.sink ?store ~session ~jobs ?chunk config
+        with
+        | Ok s -> s
+        | Error msg -> exit_usage msg
+      in
+      if resume then begin
+        let st = Option.get store in
+        match Core.Store.find_blob st (Core.Store_key.named ~family:"serve-snapshot" session) with
+        | None ->
+          exit_err
+            (Printf.sprintf "no snapshot for session %S in %s" session (Core.Store.dir st))
+        | Some text -> (
+          match
+            Core.Serve.restore ~telemetry:ctx.sink ?store ~session ~jobs ?chunk text
+          with
+          | Ok s -> s
+          | Error msg -> exit_err msg)
+      end
+      else fresh ()
+    in
+    let input = if String.equal script "-" then stdin else or_die (fun () -> open_in script) in
+    let close_input () = if not (String.equal script "-") then close_in_noerr input in
+    (* End-of-session snapshot — also the signal-drain path: every exit
+       except an injected crash persists the session when a store is
+       configured, so `--resume` continues byte-identically. *)
+    let drain () =
+      if Option.is_some store then
+        match Core.Serve.write_snapshot server with
+        | Ok _ -> ()
+        | Error msg -> Printf.eprintf "psn: snapshot failed: %s\n%!" msg
+    in
+    let print_reply lines = List.iter print_endline lines in
+    Core.Interrupt.install ();
+    let last_snap = ref 0 in
+    let rec loop () =
+      Core.Interrupt.check ();
+      match input_line input with
+      | exception End_of_file -> drain ()
+      | line -> (
+        match Core.Serve.handle server line with
+        | `Stop lines ->
+          print_reply lines;
+          drain ()
+        | `Reply lines ->
+          print_reply lines;
+          (if snapshot_every > 0 then begin
+             let s = Core.Serve.summary server in
+             let ingested = s.Core.Serve.s_ingested in
+             if ingested > !last_snap && ingested mod snapshot_every = 0 then begin
+               last_snap := ingested;
+               match Core.Serve.write_snapshot server with
+               | Ok _ -> ()
+               | Error msg -> exit_err msg
+             end
+           end);
+          loop ())
+    in
+    (match loop () with
+    | () -> ()
+    | exception Core.Interrupt.Interrupted n ->
+      Printf.eprintf "psn: interrupted by signal %d; session snapshotted\n%!" n;
+      drain ();
+      close_input ();
+      ctx.finish ~store;
+      exit (Core.Interrupt.exit_code n)
+    | exception Invalid_argument msg | exception Sys_error msg ->
+      close_input ();
+      exit_err msg
+    | exception (Core.Failpoint.Injected _ as ex) ->
+      close_input ();
+      exit_err (Core.Failpoint.describe ex));
+    close_input ();
+    ctx.finish ~store
+  in
+  let term =
+    Term.(
+      const run $ script $ span $ budget $ policy $ nodes $ delta $ k $ strategies $ alpha
+      $ explore $ loss $ crash_rate $ down_time $ jitter $ fault_seed $ store_arg $ session
+      $ snapshot_every $ serve_resume $ serve_jobs $ chunk_arg $ trace_out_arg [ "trace" ]
+      $ profile_flag $ failpoints_arg $ failpoint_seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve forwarding queries over a live contact stream: a sliding bounded window of \
+          recent contacts, an adaptive multipath router balancing online strategies by \
+          EWMA loss and delay, and snapshot/resume through the result store. Reads the \
+          line protocol from --script or standard input; replies are byte-identical for \
+          any --jobs.")
+    term
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -1013,6 +1274,7 @@ let main_cmd =
       explosion_cmd;
       simulate_cmd;
       resilience_cmd;
+      serve_cmd;
       experiment_cmd;
       intercontact_cmd;
       communities_cmd;

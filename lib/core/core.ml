@@ -13,6 +13,8 @@
     - forwarding evaluation: {!Message}, {!Workload}, {!Algorithm},
       {!Engine}, {!Faults}, {!Metrics}, {!Runner}, {!Registry};
     - robustness: {!Failpoint}, {!Interrupt};
+    - online serving: {!Serve}, {!Serve_window}, {!Serve_protocol},
+      {!Multipath};
     - result store: {!Store}, {!Store_codec}, {!Store_key},
       {!Store_memo}, {!Cache}, {!Fnv};
     - telemetry: {!Telemetry}, {!Chrome}, {!Profile}, {!Clock};
@@ -96,6 +98,12 @@ module Cache = Psn_sim.Cache
 (* Robustness (deterministic failure injection, cooperative signals) *)
 module Failpoint = Psn_robust.Failpoint
 module Interrupt = Psn_robust.Interrupt
+
+(* Online serving (sliding window, adaptive multipath router) *)
+module Serve = Psn_serve.Server
+module Serve_window = Psn_serve.Window
+module Serve_protocol = Psn_serve.Protocol
+module Multipath = Psn_serve.Multipath
 
 (* Telemetry (spans, counters, Chrome-trace and profile exporters) *)
 module Telemetry = Psn_telemetry.Telemetry

@@ -89,6 +89,12 @@ module Clock = Psn_telemetry.Clock
 module Failpoint = Psn_robust.Failpoint
 module Interrupt = Psn_robust.Interrupt
 
+(* Online serving (sliding window, adaptive multipath router) *)
+module Serve = Psn_serve.Server
+module Serve_window = Psn_serve.Window
+module Serve_protocol = Psn_serve.Protocol
+module Multipath = Psn_serve.Multipath
+
 (* Result store (content-addressed memoization) *)
 module Store = Psn_store.Store
 module Store_codec = Psn_store.Codec

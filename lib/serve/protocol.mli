@@ -1,0 +1,39 @@
+(** The serve line protocol: parsing only, no I/O.
+
+    One request per line. Contact events use the exact
+    {!Psn_trace.Trace_io} contact syntax ([a,b,t_start,t_end] —
+    commas), so a trace file body can be piped straight in; everything
+    else is space-separated words:
+
+    {v
+    a,b,t_start,t_end           ingest one contact event
+    advance T                   move stream time forward to T
+    inject SRC DST [T]          route a live message (default T = now)
+    paths SRC DST [T]           count/diversity of valid paths
+    delivery SRC DST [T]        per-strategy delivery probe
+    route                       current router pick and weights
+    stats                       window and session counters
+    snapshot                    persist session state to the store
+    quit                        stop serving
+    v}
+
+    Blank lines and [#]-comments parse to {!Blank} (scripts can be
+    annotated). Times for [paths]/[delivery] default to the window
+    start. Parse errors name the offence; they never raise. *)
+
+type query =
+  | Inject of { src : Psn_trace.Node.id; dst : Psn_trace.Node.id; t : float option }
+  | Paths of { src : Psn_trace.Node.id; dst : Psn_trace.Node.id; t : float option }
+  | Delivery of { src : Psn_trace.Node.id; dst : Psn_trace.Node.id; t : float option }
+  | Route
+  | Stats
+  | Snapshot
+  | Quit
+
+type line =
+  | Blank
+  | Contact of Psn_trace.Contact.t
+  | Advance of float
+  | Query of query
+
+val parse : string -> (line, string) result

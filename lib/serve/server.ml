@@ -1,0 +1,732 @@
+module Trace = Psn_trace.Trace
+module Contact = Psn_trace.Contact
+module Engine = Psn_sim.Engine
+module Message = Psn_sim.Message
+module Faults = Psn_sim.Faults
+module Parallel = Psn_sim.Parallel
+module Enumerate = Psn_paths.Enumerate
+module Snapshot_ = Psn_spacetime.Snapshot
+module Registry = Psn_forwarding.Registry
+module Store = Psn_store.Store
+module Key = Psn_store.Key
+module Failpoint = Psn_robust.Failpoint
+module T = Psn_telemetry.Telemetry
+
+type config = {
+  window : Window.config;
+  delta : float;
+  k : int;
+  strategies : string list;
+  router : Multipath.config;
+  faults : Psn_sim.Faults.spec option;
+}
+
+let default_config =
+  {
+    window = { Window.span = 3600.; budget = 200_000; policy = Window.Slide; nodes = 0 };
+    delta = 10.;
+    k = 64;
+    strategies = [];
+    router = Multipath.default_config;
+    faults = None;
+  }
+
+type live = {
+  l_id : int;
+  l_src : int;
+  l_dst : int;
+  l_t : float;  (* absolute stream time of creation *)
+  l_entry : Registry.entry;
+}
+
+type t = {
+  cfg : config;
+  entries : Registry.entry array;  (* resolved cfg.strategies, in order *)
+  mutable window : Window.t;
+  mutable router : Multipath.t;
+  mutable live : live list;  (* ascending l_id *)
+  mutable next_id : int;
+  mutable delivered : int;
+  mutable expired : int;
+  mutable snapshots : int;  (* protocol-level snapshot commands served *)
+  mutable snap_writes : int;  (* every write, incl. drains (failpoint key) *)
+  mutable advances : int;
+  scratch : Engine.scratch;  (* reused across queries on the jobs=1 path *)
+  jobs : int;
+  chunk : int option;
+  store : Store.t option;
+  session : string;
+  telemetry : T.sink;
+}
+
+(* Every float a client sees goes through one formatter so transcripts
+   are stable; snapshots use hex floats instead (exact round-trip). *)
+let g v = Printf.sprintf "%g" v
+let h v = Printf.sprintf "%h" v
+
+(* ---- construction --------------------------------------------------- *)
+
+let resolve_strategies names =
+  let names = match names with [] -> List.map (fun e -> e.Registry.name) Registry.online | l -> l in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match Registry.find name with
+      | Error _ as e -> e
+      | Ok entry ->
+        if not entry.Registry.online then
+          Error
+            (Printf.sprintf
+               "strategy %S is an oracle (whole-trace knowledge); serving needs online \
+                strategies"
+               name)
+        else resolve (entry :: acc) rest)
+  in
+  resolve [] names
+
+let create ?(telemetry = T.Sink.null) ?store ?(session = "default") ?(jobs = 1) ?chunk cfg =
+  if jobs < 1 then Error (Printf.sprintf "jobs must be at least 1 (got %d)" jobs)
+  else if not (cfg.delta > 0. && Float.is_finite cfg.delta) then
+    Error (Printf.sprintf "delta must be positive and finite (got %g)" cfg.delta)
+  else if cfg.k < 1 then Error (Printf.sprintf "k must be at least 1 (got %d)" cfg.k)
+  else begin
+    match
+      Option.fold ~none:(Ok ()) ~some:Faults.validate cfg.faults
+    with
+    | Error reason -> Error ("faults: " ^ reason)
+    | Ok () -> (
+      match resolve_strategies cfg.strategies with
+      | Error _ as e -> e
+      | Ok entries -> (
+        match Multipath.create cfg.router ~names:(List.map (fun e -> e.Registry.name) entries) with
+        | Error _ as e -> e
+        | Ok router -> (
+          match Window.create cfg.window with
+          | Error _ as e -> e
+          | Ok window ->
+            Ok
+              {
+                cfg;
+                entries = Array.of_list entries;
+                window;
+                router;
+                live = [];
+                next_id = 0;
+                delivered = 0;
+                expired = 0;
+                snapshots = 0;
+                snap_writes = 0;
+                advances = 0;
+                scratch = Engine.scratch ();
+                jobs;
+                chunk;
+                store;
+                session;
+                telemetry;
+              })))
+  end
+
+(* ---- shared query plumbing ------------------------------------------ *)
+
+let err what reason = [ Printf.sprintf "err %s: %s" what reason ]
+
+let compile_faults t wtrace =
+  Option.map
+    (fun spec ->
+      Faults.compile ~n_nodes:(Trace.n_nodes wtrace) ~horizon:(Trace.horizon wtrace) spec)
+    t.cfg.faults
+
+(* Reasons returned here are wrapped as [err what: reason] by the
+   handlers, so they name the offending value, not the command. *)
+let check_endpoints t ~src ~dst =
+  let n = Window.n_nodes t.window in
+  if src = dst then Error "source and destination must differ"
+  else if src >= n || dst >= n then
+    Error (Printf.sprintf "node n%d outside the observed population of %d" (Int.max src dst) n)
+  else Ok ()
+
+(* Query times are absolute stream times inside [start, now). *)
+let query_time t = function
+  | None -> Ok (Window.start t.window)
+  | Some tt ->
+    if tt < Window.start t.window then
+      Error
+        (Printf.sprintf "time %s is behind the window start %s" (g tt) (g (Window.start t.window)))
+    else if tt >= Window.now t.window then
+      Error (Printf.sprintf "time %s is not before now %s" (g tt) (g (Window.now t.window)))
+    else Ok tt
+
+(* Run one (message, strategy) evaluation against the window trace.
+   Construction happens inside the task so parallel fan-out shares
+   nothing mutable; the outcome is a pure function of the arguments. *)
+let evaluate ~plan ~wtrace scratch (entry : Registry.entry) ~src ~dst ~t_rel =
+  let msg = Message.make ~id:0 ~src ~dst ~t_create:t_rel in
+  Engine.run ?faults:plan ~scratch ~trace:wtrace ~messages:[ msg ] (entry.Registry.factory wtrace)
+
+(* Index-keyed fan-out: jobs=1 reuses the server's scratch across
+   queries (the windowed-reuse regression surface), jobs>1 gives each
+   worker domain a private scratch via map_env. Outcomes are
+   bit-identical either way — the serve determinism tests compare
+   whole transcripts across both paths. *)
+let fan_out t tasks eval =
+  if t.jobs = 1 then Array.map (eval t.scratch) tasks
+  else Parallel.map_env ~jobs:t.jobs ?chunk:t.chunk ~env:Engine.scratch (fun s _sink x -> eval s x) tasks
+
+let outcome_delivery (o : Engine.outcome) =
+  let r = o.Engine.records.(0) in
+  (r.Engine.delivered, r.Engine.copies, r.Engine.attempts)
+
+let loss_fraction ~copies ~attempts =
+  if attempts = 0 then 0. else float_of_int (attempts - copies) /. float_of_int attempts
+
+(* ---- ingest and advance --------------------------------------------- *)
+
+let ingest t c =
+  T.with_span t.telemetry "serve.ingest" @@ fun () ->
+  Failpoint.trigger ~key:(Int64.of_int (Window.counters t.window).Window.ingested) "serve.ingest";
+  match Window.ingest t.window c with
+  | Error reason -> err "ingest" reason
+  | Ok Window.Accepted ->
+    T.count t.telemetry "serve.ingested" 1;
+    []
+  | Ok Window.Rejected_over_budget ->
+    T.count t.telemetry "serve.dropped" 1;
+    [
+      Printf.sprintf "drop budget=%d dropped=%d" (Window.config t.window).Window.budget
+        (Window.counters t.window).Window.dropped;
+    ]
+
+(* Re-evaluate the live messages against the freshly slid window.
+   Observation order is fixed (expiries in id order, then deliveries
+   in id order) whatever the fan-out schedule, so the router's EWMA
+   state — and with it every later reply — is schedule-independent. *)
+let evaluate_live t =
+  let t0 = Window.start t.window in
+  let now = Window.now t.window in
+  let expired = List.filter (fun l -> l.l_t < t0) t.live in
+  let expired_lines =
+    List.map
+      (fun l ->
+        t.expired <- t.expired + 1;
+        T.count t.telemetry "serve.expired" 1;
+        Multipath.observe t.router l.l_entry.Registry.name ~delivered:false ~delay:None ~loss:0.;
+        Printf.sprintf "expired msg=%d algo=%s" l.l_id l.l_entry.Registry.name)
+      expired
+  in
+  let ready = List.filter (fun l -> l.l_t >= t0 && l.l_t < now) t.live in
+  let evaluated =
+    match (ready, Window.trace t.window) with
+    | [], _ | _, Error _ -> []
+    | ready, Ok wtrace ->
+      let plan = compile_faults t wtrace in
+      let tasks = Array.of_list ready in
+      let outcomes =
+        fan_out t tasks (fun scratch l ->
+            evaluate ~plan ~wtrace scratch l.l_entry ~src:l.l_src ~dst:l.l_dst
+              ~t_rel:(l.l_t -. t0))
+      in
+      List.mapi (fun i l -> (l, outcomes.(i))) ready
+  in
+  let delivered_ids = ref [] in
+  let delivered_lines =
+    List.filter_map
+      (fun (l, outcome) ->
+        match outcome_delivery outcome with
+        | None, _, _ -> None
+        | Some t_del, copies, attempts ->
+          let delay = t_del -. (l.l_t -. t0) in
+          t.delivered <- t.delivered + 1;
+          T.count t.telemetry "serve.delivered" 1;
+          delivered_ids := l.l_id :: !delivered_ids;
+          Multipath.observe t.router l.l_entry.Registry.name ~delivered:true ~delay:(Some delay)
+            ~loss:(loss_fraction ~copies ~attempts);
+          Some
+            (Printf.sprintf "delivered msg=%d algo=%s delay=%s copies=%d attempts=%d" l.l_id
+               l.l_entry.Registry.name (g delay) copies attempts))
+      evaluated
+  in
+  let gone = !delivered_ids in
+  t.live <- List.filter (fun l -> l.l_t >= t0 && not (List.mem l.l_id gone)) t.live;
+  expired_lines @ delivered_lines
+
+let advance t target =
+  T.with_span t.telemetry "serve.advance" @@ fun () ->
+  t.advances <- t.advances + 1;
+  Failpoint.trigger ~key:(Int64.of_int t.advances) "serve.evict";
+  match Window.advance t.window target with
+  | Error reason -> err "advance" reason
+  | Ok evicted ->
+    let lines = evaluate_live t in
+    T.gauge t.telemetry "serve.window_size" (float_of_int (Window.size t.window));
+    T.gauge t.telemetry "serve.live_messages" (float_of_int (List.length t.live));
+    Printf.sprintf "advance now=%s t0=%s contacts=%d evicted=%d"
+      (g (Window.now t.window))
+      (g (Window.start t.window))
+      (Window.size t.window) evicted
+    :: lines
+
+(* ---- queries -------------------------------------------------------- *)
+
+let inject t ~src ~dst t_opt =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "inject") ] @@ fun () ->
+  match check_endpoints t ~src ~dst with
+  | Error reason -> err "inject" reason
+  | Ok () ->
+    let t_abs = match t_opt with None -> Window.now t.window | Some tt -> tt in
+    if t_abs < Window.start t.window then
+      err "inject"
+        (Printf.sprintf "time %s is behind the window start %s" (g t_abs)
+           (g (Window.start t.window)))
+    else begin
+      let name = Multipath.pick t.router in
+      let entry =
+        (* pick returns a name the router was created with, which is a
+           resolved entry by construction *)
+        Array.to_list t.entries |> List.find (fun e -> String.equal e.Registry.name name)
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.live <- t.live @ [ { l_id = id; l_src = src; l_dst = dst; l_t = t_abs; l_entry = entry } ];
+      T.count t.telemetry "serve.injected" 1;
+      [ Printf.sprintf "msg id=%d algo=%s t=%s" id name (g t_abs) ]
+    end
+
+let paths t ~src ~dst t_opt =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "paths") ] @@ fun () ->
+  match check_endpoints t ~src ~dst with
+  | Error reason -> err "paths" reason
+  | Ok () -> (
+    match Window.trace t.window with
+    | Error reason -> err "paths" reason
+    | Ok wtrace -> (
+      match query_time t t_opt with
+      | Error reason -> err "paths" reason
+      | Ok t_abs -> (
+        let t_rel = t_abs -. Window.start t.window in
+        let observed =
+          match compile_faults t wtrace with
+          | None -> wtrace
+          | Some plan -> Faults.degrade plan wtrace
+        in
+        let config =
+          { Enumerate.k = t.cfg.k; max_hops = None; stop_at_total = None; exhaustive = false }
+        in
+        match
+          Enumerate.run ~config
+            (Snapshot_.of_trace ~delta:t.cfg.delta observed)
+            ~src ~dst ~t_create:t_rel
+        with
+        | exception Invalid_argument reason -> err "paths" reason
+        | res ->
+          let n = Array.length res.Enumerate.arrivals in
+          let optimal =
+            match Enumerate.first_arrival res with
+            | None -> "-"
+            | Some a -> g a.Enumerate.duration
+          in
+          let node_div, edge_div =
+            match
+              Multipath.diversity
+                (Array.to_list res.Enumerate.arrivals
+                |> List.map (fun (a : Enumerate.arrival) -> a.Enumerate.path))
+            with
+            | None -> ("-", "-")
+            | Some (nd, ed) -> (g nd, g ed)
+          in
+          [
+            Printf.sprintf "paths n=%d optimal=%s node_div=%s edge_div=%s steps=%d" n optimal
+              node_div edge_div res.Enumerate.steps_processed;
+          ])))
+
+let delivery t ~src ~dst t_opt =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "delivery") ] @@ fun () ->
+  match check_endpoints t ~src ~dst with
+  | Error reason -> err "delivery" reason
+  | Ok () -> (
+    match Window.trace t.window with
+    | Error reason -> err "delivery" reason
+    | Ok wtrace -> (
+      match query_time t t_opt with
+      | Error reason -> err "delivery" reason
+      | Ok t_abs -> (
+        let t_rel = t_abs -. Window.start t.window in
+        let plan = compile_faults t wtrace in
+        match
+          fan_out t t.entries (fun scratch entry ->
+              evaluate ~plan ~wtrace scratch entry ~src ~dst ~t_rel)
+        with
+        | exception Invalid_argument reason -> err "delivery" reason
+        | outcomes ->
+          (* Probes are observations too: asking "who would deliver?"
+             teaches the router, in entry order, deterministically. *)
+          let lines =
+            Array.to_list
+              (Array.mapi
+                 (fun i outcome ->
+                   let entry = t.entries.(i) in
+                   let delivered, copies, attempts = outcome_delivery outcome in
+                   let loss = loss_fraction ~copies ~attempts in
+                   let delay = Option.map (fun td -> td -. t_rel) delivered in
+                   Multipath.observe t.router entry.Registry.name
+                     ~delivered:(Option.is_some delivered) ~delay ~loss;
+                   Printf.sprintf "probe algo=%s delivered=%s delay=%s copies=%d attempts=%d loss=%s"
+                     entry.Registry.name
+                     (if Option.is_some delivered then "yes" else "no")
+                     (match delay with None -> "-" | Some d -> g d)
+                     copies attempts (g loss))
+                 outcomes)
+          in
+          lines @ [ Printf.sprintf "pick algo=%s" (Multipath.pick t.router) ])))
+
+let route t =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "route") ] @@ fun () ->
+  Printf.sprintf "pick algo=%s" (Multipath.pick t.router)
+  :: List.map
+       (fun (name, w) ->
+         Printf.sprintf "weight algo=%s w=%s obs=%d" name (g w)
+           (Multipath.observations t.router name))
+       (Multipath.weights t.router)
+
+type summary = {
+  s_now : float;
+  s_start : float;
+  s_contacts : int;
+  s_peak : int;
+  s_nodes : int;
+  s_live : int;
+  s_ingested : int;
+  s_evicted : int;
+  s_budget_evicted : int;
+  s_dropped : int;
+  s_delivered : int;
+  s_expired : int;
+  s_snapshots : int;
+}
+
+let summary t =
+  let c = Window.counters t.window in
+  {
+    s_now = Window.now t.window;
+    s_start = Window.start t.window;
+    s_contacts = Window.size t.window;
+    s_peak = Window.peak t.window;
+    s_nodes = Window.n_nodes t.window;
+    s_live = List.length t.live;
+    s_ingested = c.Window.ingested;
+    s_evicted = c.Window.evicted;
+    s_budget_evicted = c.Window.budget_evicted;
+    s_dropped = c.Window.dropped;
+    s_delivered = t.delivered;
+    s_expired = t.expired;
+    s_snapshots = t.snapshots;
+  }
+
+let stats t =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "stats") ] @@ fun () ->
+  let s = summary t in
+  [
+    Printf.sprintf
+      "stats now=%s t0=%s contacts=%d peak=%d nodes=%d live=%d ingested=%d evicted=%d \
+       budget_evicted=%d dropped=%d delivered=%d expired=%d snapshots=%d"
+      (g s.s_now) (g s.s_start) s.s_contacts s.s_peak s.s_nodes s.s_live s.s_ingested s.s_evicted
+      s.s_budget_evicted s.s_dropped s.s_delivered s.s_expired s.s_snapshots;
+  ]
+
+(* ---- snapshot / restore --------------------------------------------- *)
+
+let snapshot_text t =
+  let b = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  addf "psn-serve-snapshot 1";
+  let w = t.cfg.window in
+  addf "window %s %d %s %d" (h w.Window.span) w.Window.budget
+    (match w.Window.policy with Window.Drop -> "drop" | Window.Slide -> "slide")
+    w.Window.nodes;
+  addf "enum %s %d" (h t.cfg.delta) t.cfg.k;
+  addf "router %s %d" (h t.cfg.router.Multipath.alpha) t.cfg.router.Multipath.explore;
+  addf "strategies %d" (Array.length t.entries);
+  Array.iter (fun e -> addf "%s" e.Registry.name) t.entries;
+  (match t.cfg.faults with
+  | None -> addf "faults 0"
+  | Some f ->
+    addf "faults 1 %s %s %s %s %Ld" (h f.Faults.loss) (h f.Faults.crash_rate)
+      (h f.Faults.down_time) (h f.Faults.jitter) f.Faults.seed);
+  addf "clock %s %s %d %d"
+    (h (Window.now t.window))
+    (h (Window.last_start t.window))
+    (Window.n_nodes t.window) (Window.peak t.window);
+  let c = Window.counters t.window in
+  addf "counters %d %d %d %d %d %d %d %d %d %d" c.Window.ingested c.Window.evicted
+    c.Window.budget_evicted c.Window.dropped t.next_id t.delivered t.expired t.snapshots
+    t.snap_writes t.advances;
+  let contacts = Window.contacts t.window in
+  addf "contacts %d" (List.length contacts);
+  List.iter
+    (fun (ct : Contact.t) ->
+      addf "%d %d %s %s" ct.Contact.a ct.Contact.b (h ct.Contact.t_start) (h ct.Contact.t_end))
+    contacts;
+  addf "live %d" (List.length t.live);
+  List.iter
+    (fun l -> addf "%d %d %d %s %s" l.l_id l.l_src l.l_dst (h l.l_t) l.l_entry.Registry.name)
+    t.live;
+  let rows = Multipath.dump t.router in
+  addf "ewma %d" (List.length rows);
+  List.iter
+    (fun (name, (obs, success, delay, has_delay, loss)) ->
+      addf "%s %d %s %s %d %s" name obs (h success) (h delay) (if has_delay then 1 else 0)
+        (h loss))
+    rows;
+  addf "end";
+  Buffer.contents b
+
+let write_snapshot t =
+  match t.store with
+  | None -> Error "no store configured (pass --store to enable snapshots)"
+  | Some store ->
+    Failpoint.trigger ~key:(Int64.of_int t.snap_writes) "serve.snapshot";
+    let key = Key.named ~family:"serve-snapshot" t.session in
+    t.snap_writes <- t.snap_writes + 1;
+    (* The snapshot describes the state *including* this write's
+       count, so a resumed server's next write lands one later —
+       byte-identical counters either side of the crash. *)
+    let text = snapshot_text t in
+    Store.put_blob store key text;
+    T.count t.telemetry "serve.snapshots" 1;
+    Ok (Key.to_hex key, String.length text)
+
+(* The protocol-visible snapshot count moves only on the [snapshot]
+   command, never on automatic end-of-stream drains — a resumed
+   transcript's [stats] lines must match an uninterrupted run's, and
+   drains happen exactly at the points an uninterrupted run skips. *)
+let snapshot_cmd t =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "snapshot") ] @@ fun () ->
+  match t.store with
+  | None -> err "snapshot" "no store configured (pass --store to enable snapshots)"
+  | Some _ -> (
+    t.snapshots <- t.snapshots + 1;
+    match write_snapshot t with
+    | Error reason -> err "snapshot" reason
+    | Ok (hex, bytes) -> [ Printf.sprintf "snapshot key=%s bytes=%d" hex bytes ])
+
+exception Snapshot_malformed of string
+
+let sfail fmt = Printf.ksprintf (fun s -> raise (Snapshot_malformed s)) fmt
+
+let restore ?telemetry ?store ?session ?jobs ?chunk text =
+  let lines = String.split_on_char '\n' text |> Array.of_list in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length lines then sfail "truncated snapshot (line %d)" (!pos + 1)
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let words l = String.split_on_char ' ' l |> List.filter (fun s -> String.length s > 0) in
+  let int_of what s =
+    match int_of_string_opt s with Some v -> v | None -> sfail "bad %s: %S" what s
+  in
+  let float_of what s =
+    match float_of_string_opt s with Some v -> v | None -> sfail "bad %s: %S" what s
+  in
+  let int64_of what s =
+    match Int64.of_string_opt s with Some v -> v | None -> sfail "bad %s: %S" what s
+  in
+  let parse () =
+    (match words (next ()) with
+    | [ "psn-serve-snapshot"; "1" ] -> ()
+    | _ -> sfail "not a psn-serve snapshot (bad header)");
+    let window =
+      match words (next ()) with
+      | [ "window"; span; budget; policy; nodes ] ->
+        {
+          Window.span = float_of "span" span;
+          budget = int_of "budget" budget;
+          policy =
+            (match policy with
+            | "drop" -> Window.Drop
+            | "slide" -> Window.Slide
+            | other -> sfail "bad policy: %S" other);
+          nodes = int_of "nodes" nodes;
+        }
+      | _ -> sfail "bad window line"
+    in
+    let delta, k =
+      match words (next ()) with
+      | [ "enum"; delta; k ] -> (float_of "delta" delta, int_of "k" k)
+      | _ -> sfail "bad enum line"
+    in
+    let router_cfg =
+      match words (next ()) with
+      | [ "router"; alpha; explore ] ->
+        { Multipath.alpha = float_of "alpha" alpha; explore = int_of "explore" explore }
+      | _ -> sfail "bad router line"
+    in
+    let n_strategies =
+      match words (next ()) with
+      | [ "strategies"; n ] -> int_of "strategy count" n
+      | _ -> sfail "bad strategies line"
+    in
+    let strategies = List.init n_strategies (fun _ -> String.trim (next ())) in
+    let faults =
+      match words (next ()) with
+      | [ "faults"; "0" ] -> None
+      | [ "faults"; "1"; loss; crash; down; jitter; seed ] ->
+        Some
+          {
+            Faults.loss = float_of "loss" loss;
+            crash_rate = float_of "crash rate" crash;
+            down_time = float_of "down time" down;
+            jitter = float_of "jitter" jitter;
+            seed = int64_of "fault seed" seed;
+          }
+      | _ -> sfail "bad faults line"
+    in
+    let now, last_start, pop, peak =
+      match words (next ()) with
+      | [ "clock"; now; last_start; pop; peak ] ->
+        (float_of "now" now, float_of "last start" last_start, int_of "population" pop,
+         int_of "peak" peak)
+      | _ -> sfail "bad clock line"
+    in
+    let counters =
+      match words (next ()) with
+      | [ "counters"; a; b; c; d; e; f; gg; hh; ww; i ] ->
+        ( {
+            Window.ingested = int_of "ingested" a;
+            evicted = int_of "evicted" b;
+            budget_evicted = int_of "budget evictions" c;
+            dropped = int_of "dropped" d;
+          },
+          int_of "next id" e,
+          int_of "delivered" f,
+          int_of "expired" gg,
+          int_of "snapshots" hh,
+          int_of "snapshot writes" ww,
+          int_of "advances" i )
+      | _ -> sfail "bad counters line"
+    in
+    let n_contacts =
+      match words (next ()) with
+      | [ "contacts"; n ] -> int_of "contact count" n
+      | _ -> sfail "bad contacts line"
+    in
+    let contacts =
+      List.init n_contacts (fun _ ->
+          match words (next ()) with
+          | [ a; b; s; e ] -> (
+            match
+              Contact.make ~a:(int_of "endpoint" a) ~b:(int_of "endpoint" b)
+                ~t_start:(float_of "contact start" s) ~t_end:(float_of "contact end" e)
+            with
+            | c -> c
+            | exception Invalid_argument reason -> sfail "bad contact: %s" reason)
+          | _ -> sfail "bad contact line")
+    in
+    let n_live =
+      match words (next ()) with
+      | [ "live"; n ] -> int_of "live count" n
+      | _ -> sfail "bad live line"
+    in
+    let live_rows =
+      List.init n_live (fun _ ->
+          match words (next ()) with
+          | [ id; src; dst; tt; name ] ->
+            ( int_of "message id" id,
+              int_of "source" src,
+              int_of "destination" dst,
+              float_of "creation time" tt,
+              name )
+          | _ -> sfail "bad live message line")
+    in
+    let n_ewma =
+      match words (next ()) with
+      | [ "ewma"; n ] -> int_of "ewma count" n
+      | _ -> sfail "bad ewma line"
+    in
+    let ewma_rows =
+      List.init n_ewma (fun _ ->
+          match words (next ()) with
+          | [ name; obs; success; delay; has_delay; loss ] ->
+            ( name,
+              ( int_of "observations" obs,
+                float_of "success" success,
+                float_of "delay" delay,
+                (match has_delay with
+                | "0" -> false
+                | "1" -> true
+                | other -> sfail "bad has_delay flag: %S" other),
+                float_of "loss" loss ) )
+          | _ -> sfail "bad ewma row")
+    in
+    (match words (next ()) with [ "end" ] -> () | _ -> sfail "missing end marker");
+    ( { window; delta; k; strategies; router = router_cfg; faults },
+      (now, last_start, pop, peak),
+      counters,
+      contacts,
+      live_rows,
+      ewma_rows )
+  in
+  match parse () with
+  | exception Snapshot_malformed reason -> Error ("snapshot: " ^ reason)
+  | ( cfg,
+      (now, last_start, pop, peak),
+      (wc, next_id, delivered, expired, snapshots, snap_writes, advances),
+      contacts,
+      live_rows,
+      ewma_rows ) -> (
+    match create ?telemetry ?store ?session ?jobs ?chunk cfg with
+    | Error _ as e -> e
+    | Ok t -> (
+      match
+        Window.restore cfg.window ~now ~last_start ~n_nodes:pop ~peak ~counters:wc contacts
+      with
+      | Error _ as e -> e
+      | Ok window -> (
+        match Multipath.load cfg.router ewma_rows with
+        | Error _ as e -> e
+        | Ok router ->
+          let find_entry name =
+            match
+              Array.to_list t.entries |> List.find_opt (fun e -> String.equal e.Registry.name name)
+            with
+            | Some e -> e
+            | None -> raise (Snapshot_malformed (Printf.sprintf "unknown live strategy %S" name))
+          in
+          (match
+             List.map
+               (fun (l_id, l_src, l_dst, l_t, name) ->
+                 { l_id; l_src; l_dst; l_t; l_entry = find_entry name })
+               live_rows
+           with
+          | exception Snapshot_malformed reason -> Error ("snapshot: " ^ reason)
+          | live ->
+            t.window <- window;
+            t.router <- router;
+            t.live <- live;
+            t.next_id <- next_id;
+            t.delivered <- delivered;
+            t.expired <- expired;
+            t.snapshots <- snapshots;
+            t.snap_writes <- snap_writes;
+            t.advances <- advances;
+            Ok t))))
+
+(* ---- dispatch ------------------------------------------------------- *)
+
+let handle t raw =
+  match Protocol.parse raw with
+  | Error reason -> `Reply (err "parse" reason)
+  | Ok Protocol.Blank -> `Reply []
+  | Ok (Protocol.Contact c) -> `Reply (ingest t c)
+  | Ok (Protocol.Advance target) -> `Reply (advance t target)
+  | Ok (Protocol.Query q) -> (
+    match q with
+    | Protocol.Quit -> `Stop [ "bye" ]
+    | Protocol.Inject { src; dst; t = tt } -> `Reply (inject t ~src ~dst tt)
+    | Protocol.Paths { src; dst; t = tt } -> `Reply (paths t ~src ~dst tt)
+    | Protocol.Delivery { src; dst; t = tt } -> `Reply (delivery t ~src ~dst tt)
+    | Protocol.Route -> `Reply (route t)
+    | Protocol.Stats -> `Reply (stats t)
+    | Protocol.Snapshot -> `Reply (snapshot_cmd t))

@@ -94,6 +94,59 @@ let scratch () =
     s_clean = true;
   }
 
+(* Drop every buffer back to empty. Capacity only ever ratchets up
+   (high-water-mark retention), which is right for batch sweeps but
+   wrong for an indefinitely-lived server whose window population or
+   event volume can shrink permanently; [psn serve] calls this when it
+   wants the high-water memory back. Equivalent to replacing the
+   scratch with [scratch ()] — the next [run] rebuilds from scratch. *)
+let reset s =
+  s.s_nodes <- 0;
+  s.s_adj <- [||];
+  s.s_peers <- [||];
+  s.s_n_peers <- [||];
+  s.s_peer_pos <- [||];
+  s.s_held <- [||];
+  s.s_held_len <- [||];
+  s.s_msgs <- 0;
+  s.s_message_of <- [||];
+  s.s_stride <- 0;
+  s.s_holders <- Bytes.empty;
+  s.s_delivered <- [||];
+  s.s_copies_of <- [||];
+  s.s_attempts_of <- [||];
+  s.s_ev_cap <- 0;
+  s.s_ev_time <- [||];
+  s.s_ev_code <- [||];
+  s.s_clean <- true
+
+(* Windowed-reuse audit (the serve layer reuses one scratch across
+   runs whose populations, message counts and event volumes all vary
+   as the window slides; each re-entry invariant below is what makes
+   that bit-identical to fresh scratches, and each is pinned by the
+   scratch-reuse regression tests):
+
+   - population GROWS: the node-indexed buffers are reallocated at the
+     new size (fresh all-empty adjacency, [s_clean] true);
+   - population SHRINKS: buffers keep high-water size, but every loop
+     indexes through ids < n only, the dirty rebuild and the held-list
+     reset sweep the full allocated range [0, s_nodes), and the
+     self-cleaning invariant covers whatever rows a bigger previous
+     run touched — stale rows beyond n are all-empty, not read;
+   - a node id EVICTED from the serve window and later REINSERTED is
+     just an id with no contacts in some run and contacts in a later
+     one: node state is positional and rebuilt per run (held lengths
+     reset on acquisition, adjacency self-cleaning), so no residue
+     crosses runs;
+   - message-count changes: [ensure_msgs] resets exactly [0, n_msgs)
+     of every message-indexed array and zeroes exactly the first
+     [n_msgs * stride] holder-bitset bytes — and [stride] is
+     recomputed from the current population, so a population change
+     re-strides the bitset consistently;
+   - event-volume changes: the sort and the drain touch exactly
+     [0, n_events); heapsort's swap sequence is a pure function of the
+     key sequence, so garbage beyond the current run's count can never
+     influence the order. *)
 let ensure_nodes s n =
   if n > s.s_nodes then begin
     s.s_adj <- Array.init n (fun _ -> Array.make n 0);

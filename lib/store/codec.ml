@@ -7,7 +7,7 @@ module Metrics_ = Psn_sim.Metrics
 module Enumerate = Psn_paths.Enumerate
 module Path = Psn_paths.Path
 
-type kind = Manifest | Trace | Outcome | Metrics | Enumeration
+type kind = Manifest | Trace | Outcome | Metrics | Enumeration | Blob
 
 let version = 1
 let magic = "PSNS"
@@ -20,6 +20,7 @@ let kind_tag = function
   | Outcome -> 2
   | Metrics -> 3
   | Enumeration -> 4
+  | Blob -> 5
 
 let kind_of_tag = function
   | 0 -> Some Manifest
@@ -27,6 +28,7 @@ let kind_of_tag = function
   | 2 -> Some Outcome
   | 3 -> Some Metrics
   | 4 -> Some Enumeration
+  | 5 -> Some Blob
   | _ -> None
 
 let equal_kind a b = Int.equal (kind_tag a) (kind_tag b)
@@ -37,6 +39,7 @@ let kind_name = function
   | Outcome -> "outcome"
   | Metrics -> "metrics"
   | Enumeration -> "enumeration"
+  | Blob -> "blob"
 
 type error = { offset : int; reason : string }
 
@@ -415,6 +418,23 @@ let encode_enumeration res =
 let decode_enumeration s = decode_as Enumeration read_enumeration s
 
 (* ------------------------------------------------------------------ *)
+(* Blob                                                               *)
+
+(* The payload is the caller's bytes verbatim — no internal structure
+   beyond the frame's own length and CRC checks. Opaque by design: the
+   serve layer stores its (versioned, self-describing) snapshot text
+   here without the codec needing to know its schema. *)
+
+let read_blob r =
+  let n = String.length r.data - r.pos in
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let encode_blob s = frame ~kind:Blob s
+let decode_blob s = decode_as Blob read_blob s
+
+(* ------------------------------------------------------------------ *)
 (* Manifest                                                           *)
 
 type manifest_entry = { e_key : string; e_kind : kind; e_size : int; e_last_access : int64 }
@@ -481,5 +501,6 @@ let verify_frame s =
       | Outcome -> fun r -> ignore (read_outcome r)
       | Metrics -> fun r -> ignore (read_metrics r)
       | Enumeration -> fun r -> ignore (read_enumeration r)
+      | Blob -> fun r -> ignore (read_blob r)
     in
     Result.map (fun () -> kind) (run_reader payload read)

@@ -35,6 +35,7 @@ type kind =
   | Outcome  (** One {!Psn_sim.Engine.outcome} (a per-seed run). *)
   | Metrics  (** One {!Psn_sim.Metrics.t} summary row. *)
   | Enumeration  (** One {!Psn_paths.Enumerate.result}. *)
+  | Blob  (** Opaque caller bytes (serve-session snapshots). *)
 
 val version : int
 (** Format version written into (and required of) every frame. *)
@@ -66,6 +67,14 @@ val encode_metrics : Psn_sim.Metrics.t -> string
 val decode_metrics : string -> (Psn_sim.Metrics.t, error) result
 val encode_enumeration : Psn_paths.Enumerate.result -> string
 val decode_enumeration : string -> (Psn_paths.Enumerate.result, error) result
+
+val encode_blob : string -> string
+(** Wraps the caller's bytes verbatim in a {!Blob} frame. The payload
+    has no codec-level structure — only the frame's length and CRC
+    checks apply. Canonicity therefore rests on the caller producing
+    canonical bytes (the serve layer's snapshot text does). *)
+
+val decode_blob : string -> (string, error) result
 
 (** {1 The manifest frame}
 

@@ -49,6 +49,16 @@ let outcome ~trace_hash ~workload ~algo ~seed ?faults () =
         Buffer.add_int64_le b (fault_hash f));
       Buffer.add_string b algo)
 
+let named ~family name =
+  (* NUL separates the two variable-length fields so ("ab","c") and
+     ("a","bc") cannot collide; neither side may contain NUL. *)
+  if String.contains family '\000' || String.contains name '\000' then
+    invalid_arg "Key.named: family and name must not contain NUL";
+  digest 3 (fun b ->
+      Buffer.add_string b family;
+      Buffer.add_uint8 b 0;
+      Buffer.add_string b name)
+
 let enumeration ~trace_hash ~config ~src ~dst ~t_create =
   digest 2 (fun b ->
       Buffer.add_int64_le b trace_hash;

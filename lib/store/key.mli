@@ -61,3 +61,12 @@ val enumeration :
   t
 (** Key of one {!Psn_paths.Enumerate.run} result over the snapshot of
     the hashed trace. *)
+
+val named : family:string -> string -> t
+(** Name-addressed key for mutable-by-design entries — unlike
+    {!outcome}/{!enumeration} keys it names a {e slot}, not an input
+    closure, so successive writes under the same name overwrite each
+    other. Used by [psn serve] for session snapshots
+    ([family:"serve-snapshot" "<session>"]). Neither string may
+    contain NUL ([Invalid_argument] otherwise); the format version is
+    folded in like every other key family. *)

@@ -366,6 +366,9 @@ let find_enumeration st key =
 let put_enumeration st key v =
   put_with Codec.encode_enumeration ~kind:Codec.Enumeration st key v
 
+let find_blob st key = find_with Codec.decode_blob ~kind:Codec.Blob st key
+let put_blob st key v = put_with Codec.encode_blob ~kind:Codec.Blob st key v
+
 (* ---- maintenance ---------------------------------------------------- *)
 
 type stats = {

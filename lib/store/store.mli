@@ -76,6 +76,15 @@ val put_outcome : t -> Key.t -> Psn_sim.Engine.outcome -> unit
 val find_enumeration : t -> Key.t -> Psn_paths.Enumerate.result option
 val put_enumeration : t -> Key.t -> Psn_paths.Enumerate.result -> unit
 
+val find_blob : t -> Key.t -> string option
+(** Opaque-bytes entries, typically under {!Key.named} slots. Same
+    miss semantics as the typed finders: a corrupt or wrong-kind frame
+    reads as absent. *)
+
+val put_blob : t -> Key.t -> string -> unit
+(** Atomically (over)write opaque bytes — [psn serve] session
+    snapshots live here. *)
+
 (** {1 Maintenance} *)
 
 type stats = {
