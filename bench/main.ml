@@ -588,24 +588,48 @@ let () =
       let events_per_s = float_of_int n_events /. Float.max wall_ingest 1e-9 in
       (* -- query latency on the live window -- *)
       feed ingest_server (Printf.sprintf "advance %h" (Core.Trace.horizon trace));
+      (* Latencies go through the telemetry histogram (log-bucketed,
+         ~12.5% bucket width) instead of an exact sort: same digest the
+         serve metrics endpoint reports, and the bucket counts land in
+         the JSON so regressions show as shape changes, not just two
+         moving percentiles. *)
       let time_queries mk =
-        let samples =
-          Array.init 30 (fun i ->
-              let src = i * 5 mod n_nodes in
-              let dst = (src + 13) mod n_nodes in
-              let line = mk src dst in
-              let q0 = Core.Clock.now_s () in
-              feed ingest_server line;
-              (Core.Clock.now_s () -. q0) *. 1000.)
-        in
-        Array.sort Float.compare samples;
-        (Core.Quantile.percentile samples 50, Core.Quantile.percentile samples 99)
+        let h = Core.Hist.create () in
+        for i = 0 to 29 do
+          let src = i * 5 mod n_nodes in
+          let dst = (src + 13) mod n_nodes in
+          let line = mk src dst in
+          let q0 = Core.Clock.now_s () in
+          feed ingest_server line;
+          Core.Hist.add h ((Core.Clock.now_s () -. q0) *. 1000.)
+        done;
+        h
       in
+      let hist_json h =
+        let d = Core.Hist.digest h in
+        let buckets =
+          Core.Hist.buckets h
+          |> List.map (fun (le, c) ->
+                 Printf.sprintf "{ \"le\": \"%s\", \"count\": %d }"
+                   (if Float.is_finite le then Printf.sprintf "%g" le else "+Inf")
+                   c)
+          |> String.concat ", "
+        in
+        Printf.sprintf
+          "{ \"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f, \"max\": %.3f, \"count\": %d, \
+           \"buckets\": [ %s ] }"
+          d.Core.Hist.d_p50 d.Core.Hist.d_p99 d.Core.Hist.d_p999 d.Core.Hist.d_max
+          d.Core.Hist.d_count buckets
+      in
+      let delivery_h = time_queries (fun src dst -> Printf.sprintf "delivery %d %d" src dst) in
+      let paths_h = time_queries (fun src dst -> Printf.sprintf "paths %d %d" src dst) in
       let delivery_p50, delivery_p99 =
-        time_queries (fun src dst -> Printf.sprintf "delivery %d %d" src dst)
+        let d = Core.Hist.digest delivery_h in
+        (d.Core.Hist.d_p50, d.Core.Hist.d_p99)
       in
       let paths_p50, paths_p99 =
-        time_queries (fun src dst -> Printf.sprintf "paths %d %d" src dst)
+        let d = Core.Hist.digest paths_h in
+        (d.Core.Hist.d_p50, d.Core.Hist.d_p99)
       in
       (* -- memory cap under backpressure -- *)
       let cap_budget = 500 in
@@ -664,8 +688,8 @@ let () =
           \  \"events\": %d,\n\
           \  \"window_span_s\": 1800,\n\
           \  \"ingest_events_per_s\": %.0f,\n\
-          \  \"delivery_query_ms\": { \"p50\": %.3f, \"p99\": %.3f },\n\
-          \  \"paths_query_ms\": { \"p50\": %.3f, \"p99\": %.3f },\n\
+          \  \"delivery_query_ms\": %s,\n\
+          \  \"paths_query_ms\": %s,\n\
           \  \"budget\": %d,\n\
           \  \"peak_drop\": %d,\n\
           \  \"peak_slide\": %d,\n\
@@ -675,7 +699,7 @@ let () =
           \  \"delivery_ratio_static\": { %s },\n\
           \  \"adaptive_vs_best_static\": %.3f\n\
            }\n"
-          n_events events_per_s delivery_p50 delivery_p99 paths_p50 paths_p99 cap_budget
+          n_events events_per_s (hist_json delivery_h) (hist_json paths_h) cap_budget
           drop_peak slide_peak (drop_ok && slide_ok) adaptive
           (String.concat ", "
              (List.map (fun (name, r) -> Printf.sprintf "%S: %.3f" name r) static))

@@ -1,8 +1,8 @@
 (* psn: command-line interface to the PSN path-diversity library.
 
    Subcommands: generate, info, paths, explosion, simulate, resilience,
-   serve, experiment, model. Run `psn --help` or `psn <cmd> --help` for
-   details. *)
+   serve, experiment, store, profile, metrics, model. Run `psn --help`
+   or `psn <cmd> --help` for details. *)
 
 open Cmdliner
 
@@ -198,6 +198,22 @@ let run_sweep ~finish f =
 
 (* --- telemetry --- *)
 
+(* Atomic text write (temp + rename): a scraper or validator reading
+   the path never observes a half-written exposition. *)
+let write_text_atomic ~path text =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc text);
+  Sys.rename tmp path
+
+let metrics_arg =
+  let doc =
+    "After the run, write an OpenMetrics text exposition of its telemetry (counters, \
+     value histograms, span-duration histograms) to $(docv). Value metrics are \
+     bit-identical for any --jobs and --chunk; wall-time families carry a \
+     span-duration/elapsed help line. Check the format with 'psn metrics check'."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let trace_out_arg names =
   let doc =
     "Write a Chrome trace-event JSON profile of this invocation to $(docv). Open it in \
@@ -222,8 +238,8 @@ type telemetry_ctx = {
   finish : store:Core.Store.t option -> unit;
 }
 
-let telemetry_ctx ~command ~trace_out ~profile =
-  if Option.is_none trace_out && not profile then
+let telemetry_ctx ~command ~trace_out ~profile ~metrics =
+  if Option.is_none trace_out && not profile && Option.is_none metrics then
     { sink = Core.Telemetry.Sink.null; finish = (fun ~store:_ -> ()) }
   else begin
     let c = Core.Telemetry.create () in
@@ -241,6 +257,13 @@ let telemetry_ctx ~command ~trace_out ~profile =
       | Some path ->
         or_die (fun () -> Core.Chrome.save summary ~path);
         Format.printf "wrote Chrome trace to %s@." path);
+      (match metrics with
+      | None -> ()
+      | Some path ->
+        or_die (fun () ->
+            write_text_atomic ~path
+              (Core.Openmetrics.render (Core.Openmetrics.of_summary summary)));
+        Format.printf "wrote metrics to %s@." path);
       if profile then begin
         print_string (Core.Profile.render ~title:(Printf.sprintf "psn %s" command) summary);
         match store with
@@ -352,8 +375,8 @@ let explosion_cmd =
   let messages =
     Arg.(value & opt int 60 & info [ "messages" ] ~docv:"N" ~doc:"Messages to sample.")
   in
-  let run dataset seed messages k jobs chunk store trace_out profile failpoints fp_seed retries
-      checkpoint resume =
+  let run dataset seed messages k jobs chunk store trace_out profile metrics failpoints fp_seed
+      retries checkpoint resume =
     let retries = resolve_retries retries in
     check_resume ~store resume;
     let checkpoint = resolve_checkpoint ~store checkpoint in
@@ -370,7 +393,7 @@ let explosion_cmd =
         }
       in
       install_failpoints failpoints fp_seed;
-      let ctx = telemetry_ctx ~command:"explosion" ~trace_out ~profile in
+      let ctx = telemetry_ctx ~command:"explosion" ~trace_out ~profile ~metrics in
       let store = resolve_store ~telemetry:ctx.sink store in
       run_sweep
         ~finish:(fun () -> ctx.finish ~store)
@@ -395,8 +418,8 @@ let explosion_cmd =
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ messages $ k_arg $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ] $ profile_flag $ failpoints_arg $ failpoint_seed_arg
-      $ retries_arg $ checkpoint_arg $ resume_flag)
+      $ trace_out_arg [ "trace" ] $ profile_flag $ metrics_arg $ failpoints_arg
+      $ failpoint_seed_arg $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "explosion" ~doc:"Measure path-explosion statistics over random messages.")
@@ -414,8 +437,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "algorithms" ] ~docv:"NAMES" ~doc)
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Runs to average.") in
-  let run dataset seed trace_path algorithms seeds jobs chunk store trace_out profile failpoints
-      fp_seed retries checkpoint resume =
+  let run dataset seed trace_path algorithms seeds jobs chunk store trace_out profile metrics
+      failpoints fp_seed retries checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_usage "--seeds must be at least 1";
@@ -434,7 +457,7 @@ let simulate_cmd =
     in
     let label, trace = resolve_trace dataset seed trace_path in
     install_failpoints failpoints fp_seed;
-    let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile in
+    let ctx = telemetry_ctx ~command:"simulate" ~trace_out ~profile ~metrics in
     let workload = Core.Workload.paper_spec ~n_nodes:(Core.Trace.n_nodes trace) in
     let spec = { Core.Runner.workload; seeds = Core.Runner.default_seeds seeds } in
     (* One batch over the whole algorithm × seed grid. *)
@@ -500,7 +523,7 @@ let simulate_cmd =
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ trace_arg $ algorithms $ seeds $ jobs_arg $ chunk_arg
-      $ store_arg $ trace_out_arg [ "trace-out" ] $ profile_flag $ failpoints_arg
+      $ store_arg $ trace_out_arg [ "trace-out" ] $ profile_flag $ metrics_arg $ failpoints_arg
       $ failpoint_seed_arg $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
@@ -554,7 +577,7 @@ let resilience_cmd =
           ~doc:"Messages whose path survival is enumerated per level.")
   in
   let run dataset seed loss crash_rate down_time jitter intensities fault_seed seeds probes jobs
-      chunk store trace_out profile failpoints fp_seed retries checkpoint resume =
+      chunk store trace_out profile metrics failpoints fp_seed retries checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_usage "--seeds must be at least 1";
@@ -593,7 +616,7 @@ let resilience_cmd =
         }
       in
       install_failpoints failpoints fp_seed;
-      let ctx = telemetry_ctx ~command:"resilience" ~trace_out ~profile in
+      let ctx = telemetry_ctx ~command:"resilience" ~trace_out ~profile ~metrics in
       let store = resolve_store ~telemetry:ctx.sink store in
       run_sweep
         ~finish:(fun () -> ctx.finish ~store)
@@ -617,8 +640,8 @@ let resilience_cmd =
     Term.(
       const run $ dataset_arg $ seed_arg $ loss $ crash_rate $ down_time $ jitter $ intensities
       $ fault_seed $ seeds $ probes $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ] $ profile_flag $ failpoints_arg $ failpoint_seed_arg
-      $ retries_arg $ checkpoint_arg $ resume_flag)
+      $ trace_out_arg [ "trace" ] $ profile_flag $ metrics_arg $ failpoints_arg
+      $ failpoint_seed_arg $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -636,7 +659,7 @@ let serve_cmd =
       "Read protocol lines from $(docv) instead of standard input ('-'). One request per \
        line: contact events in the trace format (a,b,t_start,t_end), 'advance T', \
        'inject SRC DST [T]', 'paths SRC DST [T]', 'delivery SRC DST [T]', 'route', \
-       'stats', 'snapshot', 'quit'; blank lines and '#' comments are skipped."
+       'stats', 'metrics', 'snapshot', 'quit'; blank lines and '#' comments are skipped."
     in
     Arg.(value & opt string "-" & info [ "script" ] ~docv:"FILE" ~doc)
   in
@@ -752,11 +775,39 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let metrics_out =
+    let doc =
+      "Maintain an OpenMetrics text exposition of the server's value metrics at $(docv) \
+       (written atomically via temp+rename, so a scraper never sees a torn file). \
+       Refreshed at end-of-stream, and during the stream with --metrics-every. The \
+       same exposition is available in-band through the 'metrics' protocol verb."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_every =
+    let doc =
+      "Also rewrite --metrics-out after every $(docv) protocol lines (0: only at \
+       end-of-stream). Requires --metrics-out."
+    in
+    Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"N" ~doc)
+  in
+  let flight_out =
+    let doc =
+      "Arm the flight recorder: keep a bounded ring of recent structured events \
+       (protocol lines, window evictions, drops, failpoint trips, store activity) and \
+       dump them to $(docv) as a post-mortem JSON on an injected crash, a terminating \
+       signal or an uncaught error. Validate with 'psn metrics check --flight'."
+    in
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+  in
   let run script span budget policy nodes delta k strategies alpha explore loss crash_rate
       down_time jitter fault_seed store session snapshot_every resume jobs chunk trace_out
-      profile failpoints fp_seed =
+      profile metrics_out metrics_every flight_out failpoints fp_seed =
     if jobs < 1 then exit_usage "--jobs must be at least 1";
     let chunk = resolve_chunk chunk in
+    if metrics_every < 0 then exit_usage "--metrics-every must be non-negative";
+    if metrics_every > 0 && Option.is_none metrics_out then
+      exit_usage "--metrics-every requires --metrics-out FILE";
     if snapshot_every < 0 then exit_usage "--snapshot-every must be non-negative";
     if snapshot_every > 0 && Option.is_none store then
       exit_usage "--snapshot-every requires --store DIR (snapshots live in the store)";
@@ -793,7 +844,10 @@ let serve_cmd =
       }
     in
     install_failpoints failpoints fp_seed;
-    let ctx = telemetry_ctx ~command:"serve" ~trace_out ~profile in
+    (* Arm before the failpoints can trip: an injected crash dumps the
+       recorder from inside the failpoint site itself. *)
+    Option.iter (fun path -> Core.Flight.arm path) flight_out;
+    let ctx = telemetry_ctx ~command:"serve" ~trace_out ~profile ~metrics:None in
     let store = resolve_store ~telemetry:ctx.sink store in
     let server =
       let fresh () =
@@ -823,15 +877,22 @@ let serve_cmd =
     (* End-of-session snapshot — also the signal-drain path: every exit
        except an injected crash persists the session when a store is
        configured, so `--resume` continues byte-identically. *)
+    let write_metrics () =
+      match metrics_out with
+      | None -> ()
+      | Some path -> write_text_atomic ~path (Core.Serve.metrics_text server)
+    in
     let drain () =
-      if Option.is_some store then
-        match Core.Serve.write_snapshot server with
-        | Ok _ -> ()
-        | Error msg -> Printf.eprintf "psn: snapshot failed: %s\n%!" msg
+      (if Option.is_some store then
+         match Core.Serve.write_snapshot server with
+         | Ok _ -> ()
+         | Error msg -> Printf.eprintf "psn: snapshot failed: %s\n%!" msg);
+      write_metrics ()
     in
     let print_reply lines = List.iter print_endline lines in
     Core.Interrupt.install ();
     let last_snap = ref 0 in
+    let lines_seen = ref 0 in
     let rec loop () =
       Core.Interrupt.check ();
       match input_line input with
@@ -843,6 +904,8 @@ let serve_cmd =
           drain ()
         | `Reply lines ->
           print_reply lines;
+          incr lines_seen;
+          if metrics_every > 0 && !lines_seen mod metrics_every = 0 then write_metrics ();
           (if snapshot_every > 0 then begin
              let s = Core.Serve.summary server in
              let ingested = s.Core.Serve.s_ingested in
@@ -859,14 +922,17 @@ let serve_cmd =
     | () -> ()
     | exception Core.Interrupt.Interrupted n ->
       Printf.eprintf "psn: interrupted by signal %d; session snapshotted\n%!" n;
+      Core.Flight.dump ~reason:(Printf.sprintf "terminated by signal %d" n) ();
       drain ();
       close_input ();
       ctx.finish ~store;
       exit (Core.Interrupt.exit_code n)
     | exception Invalid_argument msg | exception Sys_error msg ->
+      Core.Flight.dump ~reason:(Printf.sprintf "uncaught error: %s" msg) ();
       close_input ();
       exit_err msg
     | exception (Core.Failpoint.Injected _ as ex) ->
+      Core.Flight.dump ~reason:(Core.Failpoint.describe ex) ();
       close_input ();
       exit_err (Core.Failpoint.describe ex));
     close_input ();
@@ -877,7 +943,8 @@ let serve_cmd =
       const run $ script $ span $ budget $ policy $ nodes $ delta $ k $ strategies $ alpha
       $ explore $ loss $ crash_rate $ down_time $ jitter $ fault_seed $ store_arg $ session
       $ snapshot_every $ serve_resume $ serve_jobs $ chunk_arg $ trace_out_arg [ "trace" ]
-      $ profile_flag $ failpoints_arg $ failpoint_seed_arg)
+      $ profile_flag $ metrics_out $ metrics_every $ flight_out $ failpoints_arg
+      $ failpoint_seed_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -886,7 +953,8 @@ let serve_cmd =
           recent contacts, an adaptive multipath router balancing online strategies by \
           EWMA loss and delay, and snapshot/resume through the result store. Reads the \
           line protocol from --script or standard input; replies are byte-identical for \
-          any --jobs.")
+          any --jobs. The 'metrics' verb (and --metrics-out) exposes live OpenMetrics \
+          counters and histograms; --flight arms a crash flight recorder.")
     term
 
 (* --- experiment --- *)
@@ -1170,8 +1238,8 @@ let profile_cmd =
   let seeds =
     Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"N" ~doc:"Simulation runs per algorithm.")
   in
-  let run dataset seed messages seeds jobs chunk store trace_out failpoints fp_seed retries
-      checkpoint resume =
+  let run dataset seed messages seeds jobs chunk store trace_out metrics failpoints fp_seed
+      retries checkpoint resume =
     let jobs = resolve_jobs jobs in
     let chunk = resolve_chunk chunk in
     if seeds < 1 then exit_usage "--seeds must be at least 1";
@@ -1191,7 +1259,7 @@ let profile_cmd =
         }
       in
       install_failpoints failpoints fp_seed;
-      let ctx = telemetry_ctx ~command:"profile" ~trace_out ~profile:true in
+      let ctx = telemetry_ctx ~command:"profile" ~trace_out ~profile:true ~metrics in
       let store = resolve_store ~telemetry:ctx.sink store in
       run_sweep
         ~finish:(fun () -> ctx.finish ~store)
@@ -1219,8 +1287,8 @@ let profile_cmd =
   let term =
     Term.(
       const run $ dataset_arg $ seed_arg $ messages $ seeds $ jobs_arg $ chunk_arg $ store_arg
-      $ trace_out_arg [ "trace" ] $ failpoints_arg $ failpoint_seed_arg $ retries_arg
-      $ checkpoint_arg $ resume_flag)
+      $ trace_out_arg [ "trace" ] $ metrics_arg $ failpoints_arg $ failpoint_seed_arg
+      $ retries_arg $ checkpoint_arg $ resume_flag)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -1228,6 +1296,49 @@ let profile_cmd =
          "Run a representative workload (a path-enumeration sweep plus the paper's six \
           forwarding algorithms) under full instrumentation and report where the time \
           went; --trace additionally dumps a Chrome trace.")
+    term
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("check", `Check) ])) None
+      & info [] ~docv:"ACTION" ~doc:"Only 'check': validate a file and exit 0/1.")
+  in
+  let file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FILE" ~doc:"File to validate.")
+  in
+  let flight_flag =
+    let doc =
+      "Validate $(i,FILE) as a flight-recorder post-mortem dump (JSON) instead of an \
+       OpenMetrics exposition."
+    in
+    Arg.(value & flag & info [ "flight" ] ~doc)
+  in
+  let run action file flight =
+    match action with
+    | `Check ->
+      let text = or_die (fun () -> In_channel.with_open_bin file In_channel.input_all) in
+      if flight then begin
+        match Core.Flight.validate text with
+        | Ok events -> Format.printf "%s: valid flight dump, %d event(s)@." file events
+        | Error msg -> exit_err (Printf.sprintf "%s: invalid flight dump: %s" file msg)
+      end
+      else begin
+        match Core.Openmetrics.validate text with
+        | Ok () -> Format.printf "%s: valid OpenMetrics exposition@." file
+        | Error msg -> exit_err (Printf.sprintf "%s: invalid exposition: %s" file msg)
+      end
+  in
+  let term = Term.(const run $ action $ file $ flight_flag) in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Validate observability artifacts: the OpenMetrics expositions written by \
+          --metrics / --metrics-out / the serve 'metrics' verb, and (with --flight) the \
+          flight-recorder post-mortem dumps.")
     term
 
 (* --- model --- *)
@@ -1280,6 +1391,7 @@ let main_cmd =
       communities_cmd;
       store_cmd;
       profile_cmd;
+      metrics_cmd;
       model_cmd;
     ]
 

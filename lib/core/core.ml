@@ -98,6 +98,7 @@ module Cache = Psn_sim.Cache
 (* Robustness (deterministic failure injection, cooperative signals) *)
 module Failpoint = Psn_robust.Failpoint
 module Interrupt = Psn_robust.Interrupt
+module Flight = Psn_robust.Flight
 
 (* Online serving (sliding window, adaptive multipath router) *)
 module Serve = Psn_serve.Server
@@ -110,6 +111,8 @@ module Telemetry = Psn_telemetry.Telemetry
 module Chrome = Psn_telemetry.Chrome
 module Profile = Psn_telemetry.Profile
 module Clock = Psn_telemetry.Clock
+module Hist = Psn_telemetry.Hist
+module Openmetrics = Psn_telemetry.Openmetrics
 
 (* Result store (content-addressed memoization) *)
 module Store = Psn_store.Store

@@ -84,10 +84,13 @@ module Telemetry = Psn_telemetry.Telemetry
 module Chrome = Psn_telemetry.Chrome
 module Profile = Psn_telemetry.Profile
 module Clock = Psn_telemetry.Clock
+module Hist = Psn_telemetry.Hist
+module Openmetrics = Psn_telemetry.Openmetrics
 
 (* Robustness (deterministic fault injection, cooperative interrupts) *)
 module Failpoint = Psn_robust.Failpoint
 module Interrupt = Psn_robust.Interrupt
+module Flight = Psn_robust.Flight
 
 (* Online serving (sliding window, adaptive multipath router) *)
 module Serve = Psn_serve.Server

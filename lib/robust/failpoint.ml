@@ -144,11 +144,19 @@ let fires plan site ~key =
 let act site =
   match site.action with
   | Off -> ()
-  | Error_now -> raise (Injected { site = site.name; transient = false })
-  | Flaky -> raise (Injected { site = site.name; transient = true })
+  | Error_now ->
+    Flight.note "failpoint.trip" [ ("site", site.name); ("action", "error") ];
+    raise (Injected { site = site.name; transient = false })
+  | Flaky ->
+    Flight.note "failpoint.trip" [ ("site", site.name); ("action", "flaky") ];
+    raise (Injected { site = site.name; transient = true })
   | Crash ->
     (* A faithful crash: no at_exit, no channel flushing — the process
-       disappears exactly as a SIGKILL would leave it. *)
+       disappears exactly as a SIGKILL would leave it. The one
+       exception is the flight recorder, dumped here by hand: its whole
+       purpose is to survive exactly this death. *)
+    Flight.note "failpoint.trip" [ ("site", site.name); ("action", "crash") ];
+    Flight.dump ~reason:(Printf.sprintf "failpoint crash at %s" site.name) ();
     Unix._exit crash_exit_code
 
 let trigger ?(key = 0L) name =

@@ -6,6 +6,7 @@ type query =
   | Delivery of { src : Psn_trace.Node.id; dst : Psn_trace.Node.id; t : float option }
   | Route
   | Stats
+  | Metrics
   | Snapshot
   | Quit
 
@@ -76,6 +77,7 @@ let parse raw =
     | [ "delivery"; src; dst; t ] -> endpoints_query "delivery" delivery src dst (Some t)
     | [ "route" ] -> Ok (Query Route)
     | [ "stats" ] -> Ok (Query Stats)
+    | [ "metrics" ] -> Ok (Query Metrics)
     | [ "snapshot" ] -> Ok (Query Snapshot)
     | [ "quit" ] -> Ok (Query Quit)
     (* Known verb, wrong shape: answer with the expected usage rather
@@ -84,7 +86,7 @@ let parse raw =
     | "inject" :: _ -> Error "inject expects: inject SRC DST [T]"
     | "paths" :: _ -> Error "paths expects: paths SRC DST [T]"
     | "delivery" :: _ -> Error "delivery expects: delivery SRC DST [T]"
-    | (("route" | "stats" | "snapshot" | "quit") as verb) :: _ ->
+    | (("route" | "stats" | "metrics" | "snapshot" | "quit") as verb) :: _ ->
       Error (Printf.sprintf "%s takes no arguments" verb)
     | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
     | [] -> Ok Blank

@@ -12,7 +12,8 @@
     paths SRC DST [T]           count/diversity of valid paths
     delivery SRC DST [T]        per-strategy delivery probe
     route                       current router pick and weights
-    stats                       window and session counters
+    stats                       window, session and per-strategy counters
+    metrics                     OpenMetrics exposition (value metrics)
     snapshot                    persist session state to the store
     quit                        stop serving
     v}
@@ -27,6 +28,7 @@ type query =
   | Delivery of { src : Psn_trace.Node.id; dst : Psn_trace.Node.id; t : float option }
   | Route
   | Stats
+  | Metrics
   | Snapshot
   | Quit
 

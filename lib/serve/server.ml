@@ -10,7 +10,10 @@ module Registry = Psn_forwarding.Registry
 module Store = Psn_store.Store
 module Key = Psn_store.Key
 module Failpoint = Psn_robust.Failpoint
+module Flight = Psn_robust.Flight
 module T = Psn_telemetry.Telemetry
+module Hist = Psn_telemetry.Hist
+module Openmetrics = Psn_telemetry.Openmetrics
 
 type config = {
   window : Window.config;
@@ -51,6 +54,11 @@ type t = {
   mutable snapshots : int;  (* protocol-level snapshot commands served *)
   mutable snap_writes : int;  (* every write, incl. drains (failpoint key) *)
   mutable advances : int;
+  (* Value histograms over simulated quantities: part of the session
+     state (snapshotted, reported by [metrics]), never wall time. *)
+  h_delay : Hist.t;  (* delivery delay, simulated seconds *)
+  h_batch : Hist.t;  (* contacts ingested between advances *)
+  mutable pending_ingest : int;  (* accepted since the last advance *)
   scratch : Engine.scratch;  (* reused across queries on the jobs=1 path *)
   jobs : int;
   chunk : int option;
@@ -117,6 +125,9 @@ let create ?(telemetry = T.Sink.null) ?store ?(session = "default") ?(jobs = 1) 
                 snapshots = 0;
                 snap_writes = 0;
                 advances = 0;
+                h_delay = Hist.create ();
+                h_batch = Hist.create ();
+                pending_ingest = 0;
                 scratch = Engine.scratch ();
                 jobs;
                 chunk;
@@ -188,9 +199,15 @@ let ingest t c =
   | Error reason -> err "ingest" reason
   | Ok Window.Accepted ->
     T.count t.telemetry "serve.ingested" 1;
+    t.pending_ingest <- t.pending_ingest + 1;
     []
   | Ok Window.Rejected_over_budget ->
     T.count t.telemetry "serve.dropped" 1;
+    Flight.note "serve.drop"
+      [
+        ("budget", string_of_int (Window.config t.window).Window.budget);
+        ("dropped", string_of_int (Window.counters t.window).Window.dropped);
+      ];
     [
       Printf.sprintf "drop budget=%d dropped=%d" (Window.config t.window).Window.budget
         (Window.counters t.window).Window.dropped;
@@ -237,6 +254,8 @@ let evaluate_live t =
           let delay = t_del -. (l.l_t -. t0) in
           t.delivered <- t.delivered + 1;
           T.count t.telemetry "serve.delivered" 1;
+          Hist.add t.h_delay delay;
+          T.hist t.telemetry "serve.delivery_delay_s" delay;
           delivered_ids := l.l_id :: !delivered_ids;
           Multipath.observe t.router l.l_entry.Registry.name ~delivered:true ~delay:(Some delay)
             ~loss:(loss_fraction ~copies ~attempts);
@@ -256,6 +275,15 @@ let advance t target =
   match Window.advance t.window target with
   | Error reason -> err "advance" reason
   | Ok evicted ->
+    (* One advance closes one ingest batch, even an empty one: the
+       batch-size distribution is a statement about stream shape, and
+       idle advances are part of that shape. *)
+    Hist.add t.h_batch (float_of_int t.pending_ingest);
+    T.hist t.telemetry "serve.ingest_batch" (float_of_int t.pending_ingest);
+    t.pending_ingest <- 0;
+    if evicted > 0 then
+      Flight.note "serve.evict"
+        [ ("evicted", string_of_int evicted); ("now", g (Window.now t.window)) ];
     let lines = evaluate_live t in
     T.gauge t.telemetry "serve.window_size" (float_of_int (Window.size t.window));
     T.gauge t.telemetry "serve.live_messages" (float_of_int (List.length t.live));
@@ -421,23 +449,94 @@ let summary t =
     s_snapshots = t.snapshots;
   }
 
+(* The router's raw EWMA table, one reply line per strategy in
+   registration order — what makes an adaptive-vs-static delivery gap
+   diagnosable from a live session. *)
+let strategy_lines t =
+  List.map
+    (fun (name, (obs, success, delay, has_delay, loss)) ->
+      Printf.sprintf "strat algo=%s obs=%d success=%s delay=%s loss=%s score=%s" name obs
+        (g success)
+        (if has_delay then g delay else "-")
+        (g loss)
+        (g (Multipath.score t.router name)))
+    (Multipath.dump t.router)
+
 let stats t =
   T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "stats") ] @@ fun () ->
   let s = summary t in
-  [
-    Printf.sprintf
-      "stats now=%s t0=%s contacts=%d peak=%d nodes=%d live=%d ingested=%d evicted=%d \
-       budget_evicted=%d dropped=%d delivered=%d expired=%d snapshots=%d"
-      (g s.s_now) (g s.s_start) s.s_contacts s.s_peak s.s_nodes s.s_live s.s_ingested s.s_evicted
-      s.s_budget_evicted s.s_dropped s.s_delivered s.s_expired s.s_snapshots;
-  ]
+  Printf.sprintf
+    "stats now=%s t0=%s contacts=%d peak=%d nodes=%d live=%d ingested=%d evicted=%d \
+     budget_evicted=%d dropped=%d delivered=%d expired=%d snapshots=%d"
+    (g s.s_now) (g s.s_start) s.s_contacts s.s_peak s.s_nodes s.s_live s.s_ingested s.s_evicted
+    s.s_budget_evicted s.s_dropped s.s_delivered s.s_expired s.s_snapshots
+  :: strategy_lines t
+
+(* ---- metrics registry ------------------------------------------------ *)
+
+(* Every family here is a value metric — protocol counters, window
+   occupancy, router EWMAs, simulated-quantity histograms — so the
+   whole registry is byte-identical across [--jobs]×[--chunk] and the
+   [metrics] verb can appear in golden transcripts. Wall-time families
+   (span-duration histograms) are added by the CLI from its telemetry
+   summary, flagged [time_based] so values-only surfaces skip them. *)
+let registry t =
+  let m = Openmetrics.create () in
+  let s = summary t in
+  let c ?help name v = Openmetrics.counter m ?help name v in
+  let gg ?help name v = Openmetrics.gauge m ?help name v in
+  c ~help:"Contacts accepted into the window" "psn_serve_ingested" s.s_ingested;
+  c ~help:"Contacts evicted by window slide" "psn_serve_evicted" s.s_evicted;
+  c ~help:"Contacts evicted by the memory budget" "psn_serve_budget_evicted" s.s_budget_evicted;
+  c ~help:"Contacts rejected under the drop policy" "psn_serve_dropped" s.s_dropped;
+  c ~help:"Messages injected" "psn_serve_injected" t.next_id;
+  c ~help:"Messages delivered" "psn_serve_delivered" s.s_delivered;
+  c ~help:"Messages expired out of the window" "psn_serve_expired" s.s_expired;
+  c ~help:"Snapshot commands served" "psn_serve_snapshots" s.s_snapshots;
+  c ~help:"Advance commands processed" "psn_serve_advances" t.advances;
+  gg ~help:"Stream time" "psn_serve_now_seconds" s.s_now;
+  gg ~help:"Window start time" "psn_serve_window_start_seconds" s.s_start;
+  gg ~help:"Contacts currently in the window" "psn_serve_window_contacts" (float_of_int s.s_contacts);
+  gg ~help:"Window occupancy high-water mark" "psn_serve_window_peak" (float_of_int s.s_peak);
+  gg ~help:"Observed node population" "psn_serve_nodes" (float_of_int s.s_nodes);
+  gg ~help:"Live (undelivered, unexpired) messages" "psn_serve_live_messages"
+    (float_of_int s.s_live);
+  List.iter
+    (fun (name, (obs, success, delay, has_delay, loss)) ->
+      let labels = [ ("algo", name) ] in
+      Openmetrics.counter m ~labels ~help:"Delivery observations absorbed per strategy"
+        "psn_serve_router_observations" obs;
+      Openmetrics.gauge m ~labels ~help:"EWMA delivery success per strategy"
+        "psn_serve_router_success" success;
+      if has_delay then
+        Openmetrics.gauge m ~labels ~help:"EWMA delivery delay per strategy (simulated seconds)"
+          "psn_serve_router_delay_seconds" delay;
+      Openmetrics.gauge m ~labels ~help:"EWMA transfer-loss fraction per strategy"
+        "psn_serve_router_loss" loss;
+      Openmetrics.gauge m ~labels ~help:"Routing score: success*(1-loss)/(1+delay)"
+        "psn_serve_router_score" (Multipath.score t.router name))
+    (Multipath.dump t.router);
+  Openmetrics.histogram m ~help:"Delivery delay of completed messages (simulated seconds)"
+    "psn_serve_delivery_delay_seconds" t.h_delay;
+  Openmetrics.histogram m ~help:"Contacts ingested per advance"
+    "psn_serve_ingest_batch_contacts" t.h_batch;
+  m
+
+let metrics_text t = Openmetrics.render ~values_only:true (registry t)
+
+let metrics t =
+  T.with_span t.telemetry "serve.query" ~args:[ ("kind", T.Str "metrics") ] @@ fun () ->
+  (* The exposition ends with "# EOF\n"; as reply lines, drop the
+     final empty fragment the trailing newline would produce. *)
+  String.split_on_char '\n' (metrics_text t)
+  |> List.filter (fun l -> String.length l > 0)
 
 (* ---- snapshot / restore --------------------------------------------- *)
 
 let snapshot_text t =
   let b = Buffer.create 4096 in
   let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  addf "psn-serve-snapshot 1";
+  addf "psn-serve-snapshot 2";
   let w = t.cfg.window in
   addf "window %s %d %s %d" (h w.Window.span) w.Window.budget
     (match w.Window.policy with Window.Drop -> "drop" | Window.Slide -> "slide")
@@ -476,6 +575,11 @@ let snapshot_text t =
       addf "%s %d %s %s %d %s" name obs (h success) (h delay) (if has_delay then 1 else 0)
         (h loss))
     rows;
+  (* v2: value histograms and the open ingest batch, so a resumed
+     server's [metrics] replies continue byte-identically. *)
+  addf "pending %d" t.pending_ingest;
+  addf "hist delay %s" (Hist.encode t.h_delay);
+  addf "hist batch %s" (Hist.encode t.h_batch);
   addf "end";
   Buffer.contents b
 
@@ -535,7 +639,8 @@ let restore ?telemetry ?store ?session ?jobs ?chunk text =
   in
   let parse () =
     (match words (next ()) with
-    | [ "psn-serve-snapshot"; "1" ] -> ()
+    | [ "psn-serve-snapshot"; "2" ] -> ()
+    | [ "psn-serve-snapshot"; v ] -> sfail "unsupported snapshot version %S (want 2)" v
     | _ -> sfail "not a psn-serve snapshot (bad header)");
     let window =
       match words (next ()) with
@@ -660,13 +765,32 @@ let restore ?telemetry ?store ?session ?jobs ?chunk text =
                 float_of "loss" loss ) )
           | _ -> sfail "bad ewma row")
     in
+    let pending =
+      match words (next ()) with
+      | [ "pending"; n ] -> int_of "pending ingest" n
+      | _ -> sfail "bad pending line"
+    in
+    let hist_row what =
+      let line = next () in
+      let prefix = "hist " ^ what ^ " " in
+      let plen = String.length prefix in
+      if String.length line > plen && String.equal (String.sub line 0 plen) prefix then begin
+        match Hist.decode (String.sub line plen (String.length line - plen)) with
+        | Some hh -> hh
+        | None -> sfail "bad %s histogram" what
+      end
+      else sfail "bad hist %s line" what
+    in
+    let h_delay = hist_row "delay" in
+    let h_batch = hist_row "batch" in
     (match words (next ()) with [ "end" ] -> () | _ -> sfail "missing end marker");
     ( { window; delta; k; strategies; router = router_cfg; faults },
       (now, last_start, pop, peak),
       counters,
       contacts,
       live_rows,
-      ewma_rows )
+      ewma_rows,
+      (pending, h_delay, h_batch) )
   in
   match parse () with
   | exception Snapshot_malformed reason -> Error ("snapshot: " ^ reason)
@@ -675,7 +799,8 @@ let restore ?telemetry ?store ?session ?jobs ?chunk text =
       (wc, next_id, delivered, expired, snapshots, snap_writes, advances),
       contacts,
       live_rows,
-      ewma_rows ) -> (
+      ewma_rows,
+      (pending, h_delay, h_batch) ) -> (
     match create ?telemetry ?store ?session ?jobs ?chunk cfg with
     | Error _ as e -> e
     | Ok t -> (
@@ -711,11 +836,15 @@ let restore ?telemetry ?store ?session ?jobs ?chunk text =
             t.snapshots <- snapshots;
             t.snap_writes <- snap_writes;
             t.advances <- advances;
+            t.pending_ingest <- pending;
+            Hist.merge_into ~into:t.h_delay h_delay;
+            Hist.merge_into ~into:t.h_batch h_batch;
             Ok t))))
 
 (* ---- dispatch ------------------------------------------------------- *)
 
 let handle t raw =
+  Flight.note "serve.line" [ ("raw", raw) ];
   match Protocol.parse raw with
   | Error reason -> `Reply (err "parse" reason)
   | Ok Protocol.Blank -> `Reply []
@@ -729,4 +858,5 @@ let handle t raw =
     | Protocol.Delivery { src; dst; t = tt } -> `Reply (delivery t ~src ~dst tt)
     | Protocol.Route -> `Reply (route t)
     | Protocol.Stats -> `Reply (stats t)
+    | Protocol.Metrics -> `Reply (metrics t)
     | Protocol.Snapshot -> `Reply (snapshot_cmd t))

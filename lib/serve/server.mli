@@ -128,3 +128,15 @@ type summary = {
 
 val summary : t -> summary
 (** The counters behind the [stats] reply, for bench and tests. *)
+
+val registry : t -> Psn_telemetry.Openmetrics.t
+(** The session's metrics registry: protocol counters, window and
+    router gauges (per-strategy EWMA success/delay/loss/score under an
+    [algo] label), and the simulated-quantity histograms (delivery
+    delay, ingest batch size). Every family is a value metric —
+    byte-identical across [jobs]×[chunk] — so callers may freely add
+    their own [time_based] families before rendering. *)
+
+val metrics_text : t -> string
+(** The values-only OpenMetrics exposition of {!registry} — the
+    [metrics] reply body, also what [--metrics-out] snapshots. *)

@@ -73,6 +73,8 @@ let map_result ?jobs ?chunk ?(telemetry = T.Sink.null) ?(retries = 0) ~env f tas
         | exception ex ->
           if a < retries && Failpoint.is_transient ex then begin
             T.count sink "parallel.retries" 1;
+            Psn_robust.Flight.note "parallel.retry"
+              [ ("task", string_of_int i); ("attempt", string_of_int (a + 1)) ];
             backoff a;
             attempt_loop (a + 1)
           end

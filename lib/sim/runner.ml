@@ -28,7 +28,17 @@ let run_seed ?faults ~scratch ?(telemetry = T.Sink.null) ~trace ~spec ~factory s
   let algorithm = T.with_span telemetry "runner.factory" (fun () -> factory trace) in
   let rng = Psn_prng.Rng.create ~seed () in
   let messages = Workload.generate ~rng spec.workload in
-  Engine.run ?faults ~scratch ~telemetry ~trace ~messages algorithm
+  let outcome = Engine.run ?faults ~scratch ~telemetry ~trace ~messages algorithm in
+  (* Per-run delivery-delay distribution: simulated time, recorded on
+     this worker's track and bucket-merged at close — the histogram the
+     paper's delay CDFs come from, schedule-independent by merge. *)
+  Array.iter
+    (fun r ->
+      match Engine.delay r with
+      | Some d -> T.hist telemetry "runner.delivery_delay_s" d
+      | None -> ())
+    outcome.Engine.records;
+  outcome
 
 (* Memoized fan-out over an arbitrary task grid. The cache is only
    touched from the calling domain — all lookups happen before the

@@ -1,6 +1,7 @@
 module Det_tbl = Psn_det.Det_tbl
 module T = Psn_telemetry.Telemetry
 module Failpoint = Psn_robust.Failpoint
+module Flight = Psn_robust.Flight
 
 type entry = {
   kind : Codec.kind;
@@ -352,6 +353,7 @@ let put_with encode ~kind st key v =
   Failpoint.trigger "store.insert.post_rename";
   T.count st.telemetry "store.inserts" 1;
   T.count st.telemetry "store.bytes_written" (String.length data);
+  Flight.note "store.insert" [ ("key", hex); ("bytes", string_of_int (String.length data)) ];
   Hashtbl.replace st.tbl hex
     { kind; size = String.length data; last_access = stamp };
   save_manifest st;
@@ -439,6 +441,9 @@ let gc st ~max_bytes =
   let evicted, freed_bytes = evict_loop 0 0 total order in
   T.count st.telemetry "store.evictions" evicted;
   T.count st.telemetry "store.evicted_bytes" freed_bytes;
+  if evicted > 0 then
+    Flight.note "store.gc"
+      [ ("evicted", string_of_int evicted); ("freed_bytes", string_of_int freed_bytes) ];
   save_manifest st;
   journal_clear st.dir;
   {

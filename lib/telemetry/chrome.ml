@@ -123,6 +123,30 @@ let to_json (summary : Telemetry.summary) =
           args_field [ ("value", Telemetry.Float g.Telemetry.g_value) ];
         ])
     summary.Telemetry.samples;
+  (* Histogram digests as counter tracks: one "C" event per histogram
+     at the close instant, its quantiles as parallel series. Value and
+     span-duration histograms keep distinct name prefixes so the two
+     determinism regimes stay visually separate in the viewer. *)
+  let hist_counter prefix (name, h) =
+    let d = Hist.digest h in
+    add_event b ~first
+      [
+        str_field "name" (prefix ^ name);
+        str_field "ph" "C";
+        int_field "ts" (micros summary.Telemetry.elapsed);
+        int_field "pid" 1;
+        int_field "tid" 0;
+        args_field
+          [
+            ("p50", Telemetry.Float d.Hist.d_p50);
+            ("p90", Telemetry.Float d.Hist.d_p90);
+            ("p99", Telemetry.Float d.Hist.d_p99);
+            ("p999", Telemetry.Float d.Hist.d_p999);
+          ];
+      ]
+  in
+  List.iter (hist_counter "hist:") summary.Telemetry.hists;
+  List.iter (hist_counter "span:") summary.Telemetry.span_hists;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 

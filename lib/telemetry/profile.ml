@@ -77,6 +77,23 @@ let gauge_rows (summary : Telemetry.summary) =
     summary.Telemetry.samples;
   Psn_det.Det_tbl.bindings ~cmp:String.compare tbl
 
+(* Histogram digests, one row per name. %g keeps tiny durations
+   readable where the fixed-point gauge columns would round to 0.0. *)
+let hist_rows b ~header rows =
+  match rows with
+  | [] -> ()
+  | rows ->
+    Buffer.add_string b
+      (Printf.sprintf "  %-40s %6s %9s %9s %9s %9s %9s\n" header "n" "p50" "p90" "p99" "p999"
+         "max");
+    List.iter
+      (fun (name, hh) ->
+        let d = Hist.digest hh in
+        Buffer.add_string b
+          (Printf.sprintf "  %-40s %6d %9.3g %9.3g %9.3g %9.3g %9.3g\n" name d.Hist.d_count
+             d.Hist.d_p50 d.Hist.d_p90 d.Hist.d_p99 d.Hist.d_p999 d.Hist.d_max))
+      rows
+
 let render ?(title = "profile") (summary : Telemetry.summary) =
   let b = Buffer.create 1024 in
   Buffer.add_string b (Printf.sprintf "== %s ==\n" title);
@@ -113,4 +130,6 @@ let render ?(title = "profile") (summary : Telemetry.summary) =
              (sum /. float_of_int n)
              hi))
       rows);
+  hist_rows b ~header:"histogram (values)" summary.Telemetry.hists;
+  hist_rows b ~header:"histogram (span durations, s)" summary.Telemetry.span_hists;
   Buffer.contents b

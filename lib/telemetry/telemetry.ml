@@ -15,6 +15,7 @@ type buffer = {
   track : int;
   mutable events : event list;
   counters : (string, int) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
 }
 
 type collector = {
@@ -34,7 +35,8 @@ module Sink = struct
   let is_null = function Null -> true | Active _ -> false
 end
 
-let make_buffer track = { track; events = []; counters = Hashtbl.create 16 }
+let make_buffer track =
+  { track; events = []; counters = Hashtbl.create 16; hists = Hashtbl.create 8 }
 
 let create ?(clock = Clock.now_s) () =
   { clock; epoch = clock (); main = make_buffer 0; next_track = 1; joined = [] }
@@ -74,6 +76,20 @@ let gauge t name value =
   | Null -> ()
   | Active { c; buf } -> buf.events <- Sample { name; ts = now c; value } :: buf.events
 
+let hist t name value =
+  match t with
+  | Null -> ()
+  | Active { buf; _ } ->
+    let h =
+      match Hashtbl.find_opt buf.hists name with
+      | Some h -> h
+      | None ->
+        let h = Hist.create () in
+        Hashtbl.replace buf.hists name h;
+        h
+    in
+    Hist.add h value
+
 (* ---- parallel fan-out ------------------------------------------------- *)
 
 let fork t n =
@@ -112,6 +128,8 @@ type summary = {
   roots : span list;
   counters : (string * int) list;
   samples : sample list;
+  hists : (string * Hist.t) list;
+  span_hists : (string * Hist.t) list;
   elapsed : float;
   dropped_ends : int;
 }
@@ -180,11 +198,43 @@ let close c =
           Hashtbl.replace counters name (prev + n))
         buf.counters)
     buffers;
+  let hists = Hashtbl.create 8 in
+  let hist_into name v =
+    match Hashtbl.find_opt hists name with
+    | Some h -> Hist.merge_into ~into:h v
+    | None -> Hashtbl.replace hists name (Hist.copy v)
+  in
+  List.iter
+    (fun (buf : buffer) ->
+      Det_tbl.iter ~cmp:String.compare (fun name h -> hist_into name h) buf.hists)
+    buffers;
   let per_track = List.map (forest_of ~elapsed) buffers in
+  let roots = List.concat_map (fun (roots, _, _) -> roots) per_track in
+  (* Wall-time distributions derived from span durations: one histogram
+     per span name, merged across tracks. Bucket-sum merging makes the
+     result independent of track order; the durations themselves are
+     clock readings, so these stay in the time-quarantined half of the
+     summary ([span_hists], never compared across schedules). *)
+  let span_hists = Hashtbl.create 8 in
+  let rec record_span (s : span) =
+    let h =
+      match Hashtbl.find_opt span_hists s.s_name with
+      | Some h -> h
+      | None ->
+        let h = Hist.create () in
+        Hashtbl.replace span_hists s.s_name h;
+        h
+    in
+    Hist.add h s.s_duration;
+    List.iter record_span s.s_children
+  in
+  List.iter record_span roots;
   {
-    roots = List.concat_map (fun (roots, _, _) -> roots) per_track;
+    roots;
     counters = Det_tbl.bindings ~cmp:String.compare counters;
     samples = List.concat_map (fun (_, samples, _) -> samples) per_track;
+    hists = Det_tbl.bindings ~cmp:String.compare hists;
+    span_hists = Det_tbl.bindings ~cmp:String.compare span_hists;
     elapsed;
     dropped_ends = List.fold_left (fun acc (_, _, d) -> acc + d) 0 per_track;
   }

@@ -71,6 +71,14 @@ val gauge : sink -> string -> float -> unit
 (** Record one timestamped sample of a named quantity (queue depth,
     cache size, ...) on this track. *)
 
+val hist : sink -> string -> float -> unit
+(** [hist t name v] records [v] into the named {!Hist.t} on this track.
+    {!close} merges tracks by bucket-wise summation, so the merged
+    histogram — and every digest derived from it — is independent of
+    fork and join order. Record {e simulated} quantities here (delays,
+    batch sizes, path counts); wall-time distributions come for free
+    from span durations via [summary.span_hists]. *)
+
 (** {1 Parallel fan-out} *)
 
 val fork : sink -> int -> sink array
@@ -102,6 +110,14 @@ type summary = {
   roots : span list;  (** Top-level spans, grouped by ascending track. *)
   counters : (string * int) list;  (** Merged across tracks, name-sorted. *)
   samples : sample list;  (** Gauge samples, per track in time order. *)
+  hists : (string * Hist.t) list;
+      (** Value histograms from {!hist}, merged across tracks,
+          name-sorted. Schedule-independent: safe to golden and to diff
+          across [--jobs]×[--chunk]. *)
+  span_hists : (string * Hist.t) list;
+      (** Wall-time histograms of span durations, one per span name,
+          name-sorted. Time-quarantined: never byte-stable across
+          runs. *)
   elapsed : float;  (** Clock at close minus epoch. *)
   dropped_ends : int;  (** Unbalanced {!end_span} calls discarded. *)
 }

@@ -132,6 +132,39 @@ let () =
       end)
     [ "store.gc.pre_remove"; "store.gc.post_remove" ];
 
+  (* Flight recorder: a serve session armed with --flight dies on an
+     injected crash (exit 170); the post-mortem dump must exist and
+     pass `psn metrics check --flight` with at least one ring event
+     (the protocol lines noted before the death). *)
+  (let script = "cm_serve.script" in
+   let oc = open_out script in
+   output_string oc
+     "0,1,0,60\n1,2,30,90\n2,3,80,150\nadvance 100\ninject 0 3\n0,3,120,130\nadvance 200\nquit\n";
+   close_out oc;
+   let dump = "cm_flight.json" in
+   if Sys.file_exists dump then Sys.remove dump;
+   let code =
+     sh "%s serve --script %s --window 200 --flight %s --failpoints engine.contact=crash@1 >/dev/null 2>&1"
+       cli (Filename.quote script) (Filename.quote dump)
+   in
+   if code <> crash_exit then failf "flight: serve crash exited %d, want %d" code crash_exit
+   else if not (Sys.file_exists dump) then failf "flight: no post-mortem dump at %s" dump
+   else begin
+     let check = sh "%s metrics check --flight %s >/dev/null 2>&1" cli (Filename.quote dump) in
+     if check <> 0 then failf "flight: metrics check --flight exited %d" check;
+     let ic = open_in_bin dump in
+     let text = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     let has needle =
+       let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.equal (String.sub text i nl) needle || go (i + 1)) in
+       go 0
+     in
+     if not (has "\"seq\"") then failf "flight: dump has no ring events";
+     if not (has "failpoint crash at engine.contact") then
+       failf "flight: dump reason does not name the crash site"
+   end);
+
   if !failures > 0 then begin
     Printf.eprintf "crash matrix: %d scenario(s) failed\n%!" !failures;
     exit 1

@@ -18,9 +18,16 @@ let summary () =
       T.with_span s
         ~args:[ ("algorithm", T.Str "epidemic"); ("seed", T.Int 1000) ]
         "engine.run"
-        (fun () -> T.count s "engine.events" 42);
+        (fun () ->
+          T.count s "engine.events" 42;
+          T.hist s "runner.delivery_delay_s" 12.5;
+          T.hist s "runner.delivery_delay_s" 340.);
       let kids = T.fork s 2 in
       T.gauge kids.(0) "parallel.queue" 3.;
+      (* Histograms recorded on forked sinks merge by bucket sum at
+         join — the goldens pin the merged digest's rendering. *)
+      T.hist kids.(0) "runner.delivery_delay_s" 48.;
+      T.hist kids.(1) "runner.delivery_delay_s" 0.75;
       (* Mirrors Runner.run_seed: the factory span nests inside the
          task span, so construction time lands in the task's totals. *)
       T.with_span kids.(0) "runner.task" (fun () ->

@@ -372,6 +372,78 @@ let test_server_evict_then_reinsert () =
   Alcotest.(check int) "population ratchet survived eviction" 5
     (Serve.summary s).Serve.s_nodes
 
+(* The metrics surface: the 'metrics' verb answers a valid OpenMetrics
+   exposition whose value metrics are byte-identical for any jobs ×
+   chunk schedule — the issue's acceptance criterion at library level
+   (the CLI-level transcript goldens pin the same bytes end to end). *)
+let test_server_metrics_grid () =
+  let strategies = [ "direct"; "epidemic" ] in
+  let text_for ~jobs ?chunk () =
+    let s = default_server ~jobs ?chunk ~strategies () in
+    ignore (run_script s session_script);
+    Serve.metrics_text s
+  in
+  let baseline = text_for ~jobs:1 () in
+  (match Core.Openmetrics.validate baseline with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "metrics_text does not validate: %s" msg);
+  List.iter
+    (fun (jobs, chunk) ->
+      Alcotest.(check string)
+        (Printf.sprintf "metrics identical at jobs=%d chunk=%d" jobs chunk)
+        baseline
+        (text_for ~jobs ~chunk ()))
+    [ (1, 2); (2, 1); (2, 64); (3, 2) ];
+  (* the exposition carries the delivery-delay histogram and the
+     per-strategy router families *)
+  let has needle =
+    List.exists
+      (fun l ->
+        String.length l >= String.length needle
+        && String.equal (String.sub l 0 (String.length needle)) needle)
+      (String.split_on_char '\n' baseline)
+  in
+  Alcotest.(check bool) "delay histogram present" true
+    (has "# TYPE psn_serve_delivery_delay_seconds histogram");
+  Alcotest.(check bool) "batch histogram present" true
+    (has "# TYPE psn_serve_ingest_batch_contacts histogram");
+  Alcotest.(check bool) "router observations present" true
+    (has "psn_serve_router_observations_total{algo=\"direct\"}")
+
+let test_server_metrics_verb () =
+  let s = default_server ~strategies:[ "direct" ] () in
+  ignore (run_script s session_script);
+  match Serve.handle s "metrics" with
+  | `Stop _ -> Alcotest.fail "metrics must not stop the session"
+  | `Reply lines ->
+    Alcotest.(check bool) "non-empty reply" true (List.length lines > 0);
+    (match Core.Openmetrics.validate (String.concat "\n" lines ^ "\n") with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "metrics reply does not validate: %s" msg);
+    Alcotest.(check string) "reply equals metrics_text"
+      (Serve.metrics_text s)
+      (String.concat "\n" lines ^ "\n")
+
+let test_server_stats_strategy_table () =
+  let s = default_server ~strategies:[ "direct"; "epidemic" ] () in
+  let replies = run_script s session_script in
+  let strat_lines =
+    List.filter
+      (fun r -> String.length r >= 6 && String.equal (String.sub r 0 6) "strat ")
+      replies
+  in
+  Alcotest.(check int) "one line per strategy" 2 (List.length strat_lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " carries the EWMA fields") true
+        (List.for_all
+           (fun field ->
+             let fl = String.length field and ll = String.length l in
+             let rec go i = i + fl <= ll && (String.equal (String.sub l i fl) field || go (i + 1)) in
+             go 0)
+           [ "algo="; "obs="; "success="; "loss="; "score=" ]))
+    strat_lines
+
 let test_server_snapshot_roundtrip () =
   let half_a = [ "0,1,0,60"; "1,2,30,90"; "advance 80"; "inject 0 2" ] in
   let half_b = [ "2,3,85,150"; "advance 160"; "delivery 1 3 100"; "route"; "stats" ] in
@@ -556,6 +628,10 @@ let () =
           Alcotest.test_case "errors come back as replies" `Quick test_server_errors_are_replies;
           Alcotest.test_case "expiry observed" `Quick test_server_expiry_observed;
           Alcotest.test_case "evict then reinsert" `Quick test_server_evict_then_reinsert;
+          Alcotest.test_case "metrics bit-identical across jobs x chunk" `Quick
+            test_server_metrics_grid;
+          Alcotest.test_case "metrics verb" `Quick test_server_metrics_verb;
+          Alcotest.test_case "stats strategy table" `Quick test_server_stats_strategy_table;
           Alcotest.test_case "snapshot round-trip" `Quick test_server_snapshot_roundtrip;
           Alcotest.test_case "restore rejects garbage" `Quick test_server_restore_rejects_garbage;
         ] );
